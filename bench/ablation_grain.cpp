@@ -1,0 +1,89 @@
+// Ablation D: task granularity in the two-level schedule.
+//
+// The library picks how finely to subdivide a node's chunk across its cores
+// (the paper: "Triolet abstracts away the number of threads in the system",
+// §4.4 — the runtime must choose a grain). Too coarse starves cores on
+// skewed work; too fine pays per-task overhead. This ablation sweeps the
+// units-per-core ratio on tpacf's skewed triangular loops and on mri-q's
+// uniform pixels, reporting the simulated 16-core node makespan, and also
+// measures the *real* per-task overhead of the work-stealing pool.
+
+#include <cstdio>
+
+#include "apps/driver.hpp"
+#include "bench_problems.hpp"
+#include "runtime/parallel.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+namespace {
+
+/// Regroups fine-grained measured units into `coarse` contiguous tasks.
+std::vector<double> regroup(const std::vector<double>& units, int coarse) {
+  std::vector<double> out(static_cast<std::size_t>(coarse), 0.0);
+  const auto n = static_cast<std::int64_t>(units.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i * coarse / n)] +=
+        units[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+void sweep(const char* name, const std::vector<double>& units) {
+  Table t({"tasks per core", "dynamic makespan (s)", "vs best"});
+  const int cores = bench::kCoresPerNode;
+  double best = 1e300;
+  std::vector<std::pair<int, double>> rows;
+  for (int tpc : {1, 2, 4, 8, 16, 32}) {
+    auto tasks = regroup(units, tpc * cores);
+    double m = sim::makespan_dynamic(tasks, cores);
+    best = std::min(best, m);
+    rows.push_back({tpc, m});
+  }
+  for (auto [tpc, m] : rows) {
+    t.add_row({Table::num(static_cast<std::int64_t>(tpc)), Table::num(m, 6),
+               Table::num(m / best, 3) + "x"});
+  }
+  t.print(std::string(name) + ": grain sweep on one 16-core node");
+  shape_check(std::string(name) +
+                  ": one task per core is never the best grain on skewed work",
+              rows[0].second >= best);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: task granularity ==\n");
+
+  {
+    auto p = bench::tpacf_problem();
+    auto m = measure_tpacf(p, bench::kTpacfUnits);
+    sweep("tpacf (skewed triangular loops)", m.triolet.unit_seconds);
+  }
+  {
+    auto p = bench::mriq_problem();
+    auto m = measure_mriq(p, bench::kMriqUnits);
+    sweep("mri-q (uniform pixels)", m.triolet.unit_seconds);
+  }
+
+  // Real per-task overhead of the pool: time N empty tasks.
+  {
+    runtime::ThreadPool pool(2);
+    const int kTasks = 20000;
+    double secs = time_fn([&] {
+      runtime::TaskGroup g;
+      for (int i = 0; i < kTasks; ++i) {
+        pool.submit(g, [] {});
+      }
+      pool.wait(g);
+    }, 3).min;
+    std::printf("\nmeasured pool overhead: %.0f ns per empty task\n",
+                secs / kTasks * 1e9);
+    shape_check("per-task overhead stays below 100 us",
+                secs / kTasks < 100e-6);
+  }
+  return 0;
+}

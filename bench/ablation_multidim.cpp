@@ -1,0 +1,116 @@
+// Ablation E: multidimensional iterators vs simulated multidimensionality
+// (paper §3.3).
+//
+// "Expressing transposition in flattened form, using a 1D loop over a 1D
+// array, would require expensive division and modulus operations to
+// reconstruct the 2D indices x and y from a 1D loop index. Alternatively,
+// using an array of arrays adds an additional pointer indirection."
+//
+// This ablation runs matrix transposition three ways — the Dim2 iterator
+// (the library's multidimensional domain), a flattened 1D iterator that
+// reconstructs (y, x) with div/mod, and an array-of-arrays representation —
+// against the hand-written loop.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/driver.hpp"
+#include "core/triolet.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+using namespace triolet;
+using namespace triolet::core;
+
+namespace {
+
+Array2<float> make_matrix(index_t h, index_t w) {
+  Xoshiro256 rng(8);
+  Array2<float> m(h, w);
+  for (index_t y = 0; y < h; ++y)
+    for (index_t x = 0; x < w; ++x) m(y, x) = rng.uniformf();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: multidimensional vs flattened iteration ==\n");
+  const index_t h = 1024, w = 768;
+  Array2<float> m = make_matrix(h, w);
+  Array2<float> ref = transpose(m);
+
+  // (a) hand-written loop nest.
+  double t_hand = time_fn([&] {
+    Array2<float> t(w, h);
+    for (index_t y = 0; y < w; ++y) {
+      for (index_t x = 0; x < h; ++x) t(y, x) = m(x, y);
+    }
+    volatile float sink = t(0, 0);
+    (void)sink;
+  }, 5).min;
+
+  // (b) Dim2 iterator: [m(x, y) for (y, x) in arrayRange(w, h)].
+  auto dim2_expr = map_with(indices(Dim2{0, w, 0, h}), m,
+                            [](const Array2<float>& src, Index2 i) {
+                              return src(i.x, i.y);
+                            });
+  double t_dim2 = time_fn([&] {
+    auto t = build_array2(dim2_expr);
+    volatile float sink = t(0, 0);
+    (void)sink;
+  }, 5).min;
+  TRIOLET_CHECK(build_array2(dim2_expr) == ref, "dim2 transpose wrong");
+
+  // (c) flattened 1D iterator: reconstruct (y, x) with div/mod per element.
+  auto flat_expr = map_with(range(0, w * h), m,
+                            [w, h](const Array2<float>& src, index_t k) {
+                              (void)w;
+                              index_t y = k / h;  // output row
+                              index_t x = k % h;  // output column
+                              return src(x, y);
+                            });
+  double t_flat = time_fn([&] {
+    auto t = build_array1(flat_expr);
+    volatile float sink = t[0];
+    (void)sink;
+  }, 5).min;
+
+  // (d) array-of-arrays: one pointer indirection per element.
+  std::vector<std::unique_ptr<std::vector<float>>> rows_vec;
+  for (index_t y = 0; y < h; ++y) {
+    auto r = m.row(y);
+    rows_vec.push_back(std::make_unique<std::vector<float>>(r.begin(), r.end()));
+  }
+  double t_aoa = time_fn([&] {
+    Array2<float> t(w, h);
+    for (index_t y = 0; y < w; ++y) {
+      for (index_t x = 0; x < h; ++x) {
+        t(y, x) = (*rows_vec[static_cast<std::size_t>(x)])
+            [static_cast<std::size_t>(y)];
+      }
+    }
+    volatile float sink = t(0, 0);
+    (void)sink;
+  }, 5).min;
+
+  Table t({"representation", "seconds", "vs hand loop"});
+  t.add_row({"hand-written loop nest", Table::num(t_hand, 5), "1.00x"});
+  t.add_row({"Dim2 iterator", Table::num(t_dim2, 5),
+             Table::num(t_dim2 / t_hand, 2) + "x"});
+  t.add_row({"flattened 1D (div/mod)", Table::num(t_flat, 5),
+             Table::num(t_flat / t_hand, 2) + "x"});
+  t.add_row({"array of arrays", Table::num(t_aoa, 5),
+             Table::num(t_aoa / t_hand, 2) + "x"});
+  t.print("matrix transposition, one core");
+
+  apps::shape_check("Dim2 iterator is close to the hand loop (within 1.5x)",
+                    t_dim2 < 1.5 * t_hand);
+  apps::shape_check("flattened div/mod iteration costs more than Dim2",
+                    t_flat > t_dim2);
+  std::printf("\nThe Domain generalization of §3.3 exists exactly to avoid "
+              "the last two rows.\n");
+  return 0;
+}

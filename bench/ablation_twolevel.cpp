@@ -1,0 +1,56 @@
+// Ablation C: two-level vs. flat work distribution (paper §2, §3.4).
+//
+// Triolet distributes large work units to nodes, then subdivides across
+// cores with shared memory; Eden-style flat parallelism treats all cores as
+// equally remote, so the master exchanges messages with every core. This
+// ablation runs the same measured Triolet task times under both policies.
+
+#include <cstdio>
+
+#include "apps/driver.hpp"
+#include "bench_problems.hpp"
+#include "support/table.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+namespace {
+
+void compare(const char* name, const MeasuredSystem& two_level,
+             double seq_c) {
+  MeasuredSystem flat = two_level;
+  flat.name = std::string(two_level.name) + " (flat)";
+  flat.glyph = 'F';
+  flat.flat = true;
+
+  auto s_two = run_series(two_level, bench::kNodes, bench::kCoresPerNode);
+  auto s_flat = run_series(flat, bench::kNodes, bench::kCoresPerNode);
+  print_figure(std::string(name) + ": two-level vs flat distribution", seq_c,
+               {s_two, s_flat});
+
+  double t2 = s_two.points.back().seconds;
+  double tf = s_flat.points.back().seconds;
+  std::printf("\n%s at 128 cores: two-level %.5fs, flat %.5fs (%.2fx)\n", name,
+              t2, tf, tf / t2);
+  shape_check(std::string(name) +
+                  ": two-level beats flat at 128 cores (shared memory "
+                  "aggregation wins)",
+              t2 < tf);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: two-level vs flat work distribution ==\n");
+  {
+    auto p = bench::mriq_problem();
+    auto m = measure_mriq(p, bench::kMriqUnits);
+    compare("mri-q", m.triolet, seq_equivalent_seconds(m.lowlevel));
+  }
+  {
+    auto p = bench::cutcp_problem();
+    auto m = measure_cutcp(p, bench::kCutcpUnits);
+    compare("cutcp", m.triolet, seq_equivalent_seconds(m.lowlevel));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Microbenchmarks of the two-level distributed skeletons end to end on real
+// SPMD rank threads: slicing + serialization + scatter + threaded consume +
+// reduction, as a function of node count and payload size.
+
+#include <benchmark/benchmark.h>
+
+#include "core/triolet.hpp"
+#include "dist/skeletons.hpp"
+#include "net/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace triolet;
+
+Array1<double> data(core::index_t n) {
+  Xoshiro256 rng(3);
+  Array1<double> a(n);
+  for (core::index_t i = 0; i < n; ++i) a[i] = rng.uniform();
+  return a;
+}
+
+void BM_Dist_Sum(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto xs = data(1 << 16);
+  for (auto _ : state) {
+    double got = 0;
+    auto res = net::Cluster::run(nodes, [&](net::Comm& c) {
+      dist::NodeRuntime node(1);
+      double r = dist::sum(c, [&] { return core::par(core::from_array(xs)); });
+      if (c.rank() == 0) got = r;
+    });
+    if (!res.ok) state.SkipWithError("cluster failed");
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_Dist_Sum)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Dist_Histogram(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto xs = data(1 << 15);
+  for (auto _ : state) {
+    auto res = net::Cluster::run(nodes, [&](net::Comm& c) {
+      dist::NodeRuntime node(1);
+      auto h = dist::histogram(c, 64, [&] {
+        return core::par(core::map(core::from_array(xs), [](double x) {
+          return static_cast<core::index_t>(x * 63.999);
+        }));
+      });
+      benchmark::DoNotOptimize(h);
+    });
+    if (!res.ok) state.SkipWithError("cluster failed");
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_Dist_Histogram)->Arg(2)->Arg(4);
+
+void BM_Dist_SliceSerialize(benchmark::State& state) {
+  // The task-construction path alone: slice + serialize + deserialize.
+  auto xs = data(1 << 18);
+  auto it = core::map(core::from_array(xs), [](double x) { return 2 * x; });
+  const auto chunk = core::Seq{1000, 1000 + state.range(0)};
+  for (auto _ : state) {
+    auto sl = it.slice(chunk);
+    auto bytes = serial::to_bytes(sl);
+    auto back = serial::from_bytes<decltype(sl)>(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_Dist_SliceSerialize)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Microbenchmarks of the message-passing substrate: point-to-point latency
+// and throughput, collectives, and end-to-end typed round trips, measured
+// over real SPMD rank threads.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "net/cluster.hpp"
+
+namespace {
+
+using namespace triolet;
+
+void BM_Net_PingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = net::Cluster::run(2, [&](net::Comm& c) {
+      for (int i = 0; i < rounds; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 1, i);
+          benchmark::DoNotOptimize(c.recv<int>(1, 2));
+        } else {
+          benchmark::DoNotOptimize(c.recv<int>(0, 1));
+          c.send(0, 2, i);
+        }
+      }
+    });
+    if (!res.ok) state.SkipWithError("cluster failed");
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_Net_PingPong)->Arg(256);
+
+void BM_Net_LargePayloadThroughput(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<float> payload(bytes / 4, 1.5f);
+  for (auto _ : state) {
+    auto res = net::Cluster::run(2, [&](net::Comm& c) {
+      if (c.rank() == 0) {
+        c.send(1, 1, payload);
+      } else {
+        benchmark::DoNotOptimize(c.recv<std::vector<float>>(0, 1));
+      }
+    });
+    if (!res.ok) state.SkipWithError("cluster failed");
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Net_LargePayloadThroughput)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_Net_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = net::Cluster::run(ranks, [](net::Comm& c) {
+      for (int i = 0; i < 16; ++i) {
+        benchmark::DoNotOptimize(
+            c.allreduce(c.rank() + i, [](int a, int b) { return a + b; }));
+      }
+    });
+    if (!res.ok) state.SkipWithError("cluster failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Net_Allreduce)->Arg(2)->Arg(8);
+
+void BM_Net_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = net::Cluster::run(ranks, [](net::Comm& c) {
+      for (int i = 0; i < 64; ++i) c.barrier();
+    });
+    if (!res.ok) state.SkipWithError("cluster failed");
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Net_Barrier)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

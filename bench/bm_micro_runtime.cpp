@@ -1,0 +1,108 @@
+// Microbenchmarks of the runtime substrates: work-stealing deque ops,
+// fork-join overhead, parallel_for/reduce, and serialization throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "array/array.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/ws_deque.hpp"
+#include "serial/checksum.hpp"
+#include "serial/serialize.hpp"
+
+namespace {
+
+using namespace triolet;
+using namespace triolet::runtime;
+
+void BM_WsDeque_PushPop(benchmark::State& state) {
+  WsDeque<int*> d;
+  int v = 0;
+  for (auto _ : state) {
+    d.push(&v);
+    int* out = nullptr;
+    benchmark::DoNotOptimize(d.pop(out));
+  }
+}
+BENCHMARK(BM_WsDeque_PushPop);
+
+void BM_Pool_SubmitWait(benchmark::State& state) {
+  ThreadPool pool(2);
+  for (auto _ : state) {
+    TaskGroup g;
+    for (int i = 0; i < 64; ++i) {
+      pool.submit(g, [] {});
+    }
+    pool.wait(g);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Pool_SubmitWait);
+
+void BM_ParallelFor(benchmark::State& state) {
+  ThreadPool pool(2);
+  const index_t n = state.range(0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    parallel_for(pool, 0, n, [&](index_t a, index_t b) {
+      for (index_t i = a; i < b; ++i) {
+        out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+      }
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  ThreadPool pool(2);
+  const index_t n = state.range(0);
+  for (auto _ : state) {
+    auto r = parallel_reduce(
+        pool, 0, n, 0, 0.0,
+        [](index_t a, index_t b, double acc) {
+          for (index_t i = a; i < b; ++i) acc += static_cast<double>(i);
+          return acc;
+        },
+        [](double x, double y) { return x + y; });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelReduce)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_Serialize_FloatArray(benchmark::State& state) {
+  Array1<float> a(state.range(0), 1.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial::to_bytes(a));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_Serialize_FloatArray)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_Deserialize_FloatArray(benchmark::State& state) {
+  Array1<float> a(state.range(0), 1.5f);
+  auto bytes = serial::to_bytes(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial::from_bytes<Array1<float>>(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_Deserialize_FloatArray)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_Checksum(benchmark::State& state) {
+  std::vector<std::byte> bytes(static_cast<std::size_t>(state.range(0)),
+                               std::byte{0x5A});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial::checksum(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checksum)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

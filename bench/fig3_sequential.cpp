@@ -1,0 +1,71 @@
+// Figure 3: sequential execution time of all four benchmarks in C, Eden,
+// and Triolet (the paper's bar chart, rendered as a table).
+//
+// Paper shape: Triolet's sequential code is close to C (the library fuses to
+// plain loop nests); Eden is consistently slower — boxed/chunked data
+// representations and the deoptimized float trig path.
+
+#include <cstdio>
+
+#include "apps/driver.hpp"
+#include "bench_problems.hpp"
+#include "support/table.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+int main() {
+  std::printf("== Figure 3: sequential execution time ==\n");
+
+  struct Row {
+    const char* name;
+    double c, triolet, eden;
+  };
+  std::vector<Row> rows;
+
+  {
+    auto p = bench::tpacf_problem();
+    rows.push_back(
+        {"tpacf", measure_seconds([&] { (void)tpacf_seq_c(p); }),
+         measure_seconds([&] { (void)tpacf_triolet(p, core::ParHint::kSeq); }),
+         measure_seconds([&] { (void)tpacf_eden_seq(p); }, 2)});
+  }
+  {
+    auto p = bench::mriq_problem();
+    rows.push_back(
+        {"mri-q", measure_seconds([&] { (void)mriq_seq_c(p); }),
+         measure_seconds([&] { (void)mriq_triolet(p, core::ParHint::kSeq); }),
+         measure_seconds([&] { (void)mriq_eden_seq(p); }, 2)});
+  }
+  {
+    auto p = bench::sgemm_problem();
+    rows.push_back(
+        {"sgemm", measure_seconds([&] { (void)sgemm_seq_c(p); }),
+         measure_seconds([&] { (void)sgemm_triolet(p, core::ParHint::kSeq); }),
+         measure_seconds([&] { (void)sgemm_eden_seq(p); }, 2)});
+  }
+  {
+    auto p = bench::cutcp_problem();
+    rows.push_back(
+        {"cutcp", measure_seconds([&] { (void)cutcp_seq_c(p); }),
+         measure_seconds([&] { (void)cutcp_triolet(p, core::ParHint::kSeq); }),
+         measure_seconds([&] { (void)cutcp_eden_seq(p); }, 2)});
+  }
+
+  Table t({"benchmark", "CPU (s)", "Eden (s)", "Triolet (s)", "Eden/C",
+           "Triolet/C"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, Table::num(r.c, 4), Table::num(r.eden, 4),
+               Table::num(r.triolet, 4), Table::num(r.eden / r.c, 2),
+               Table::num(r.triolet / r.c, 2)});
+  }
+  t.print("Figure 3: sequential execution time of benchmarks");
+
+  for (const auto& r : rows) {
+    shape_check(std::string(r.name) + ": Eden slower than C",
+                r.eden > r.c);
+    shape_check(std::string(r.name) + ": Triolet within 2x of C",
+                r.triolet < 2.0 * r.c);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 5: scalability and performance of sgemm.
+//
+// Paper shape: all versions saturate (transposition + communication);
+// Triolet and C+MPI+OpenMP are close, with Triolet dipping at 8 nodes from
+// message-construction (GC) overhead; the Eden run FAILS at >= 2 nodes
+// because its runtime cannot buffer the in-flight matrix data.
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/driver.hpp"
+#include "bench_problems.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+int main() {
+  std::printf("== Figure 5: sgemm scalability ==\n");
+  auto p = bench::sgemm_problem();
+  std::printf("problem: alpha*A*B with A %lldx%lld, B %lldx%lld\n",
+              static_cast<long long>(p.n()), static_cast<long long>(p.k()),
+              static_cast<long long>(p.k()), static_cast<long long>(p.m()));
+
+  SgemmMeasured m = measure_sgemm(p, bench::kSgemmUnits);
+  std::printf("sequential seconds: C=%.4f Triolet=%.4f Eden=%.4f\n", m.seq_c,
+              m.seq_triolet, m.seq_eden);
+
+  // Speedup denominator: the C loop code measured identically to the
+  // parallel task times (whole-program seq times are reported above).
+  const double denom = seq_equivalent_seconds(m.lowlevel);
+
+  std::vector<ScalingSeries> series{
+      run_series(m.lowlevel, bench::kNodes, bench::kCoresPerNode),
+      run_series(m.triolet, bench::kNodes, bench::kCoresPerNode),
+      run_series(m.eden, bench::kNodes, bench::kCoresPerNode),
+  };
+  print_figure("Figure 5: sgemm", denom, series);
+
+  const double su_c = final_speedup(series[0], denom);
+  const double su_t = final_speedup(series[1], denom);
+  std::printf("\nat 128 cores: C+MPI+OpenMP=%.1fx Triolet=%.1fx\n", su_c, su_t);
+
+  // Eden fails at every multi-node configuration but runs single-node.
+  bool eden_single_ok = true, eden_multi_fails = true;
+  for (const auto& pt : series[2].points) {
+    if (pt.cores <= bench::kCoresPerNode && pt.failed()) eden_single_ok = false;
+    if (pt.cores > bench::kCoresPerNode && !pt.failed()) eden_multi_fails = false;
+  }
+  shape_check("Eden fails at >= 2 nodes (message buffer exhausted)",
+              eden_multi_fails);
+  shape_check("Eden still runs within one node", eden_single_ok);
+  shape_check("Triolet within 23-100% of C+MPI+OpenMP at 128 cores",
+              su_t >= 0.23 * su_c && su_t <= 1.05 * su_c);
+  shape_check("both saturate: 128-core speedup well below linear",
+              su_c < 90.0 && su_t < 90.0);
+  // Saturation: going 64 -> 128 cores gains little.
+  auto speedup_at = [&](const ScalingSeries& s, int cores) {
+    for (const auto& pt : s.points) {
+      if (pt.cores == cores && !pt.failed()) return denom / pt.seconds;
+    }
+    return std::nan("");
+  };
+  double t64 = speedup_at(series[1], 64), t128 = speedup_at(series[1], 128);
+  shape_check("Triolet's curve flattens toward 8 nodes (<35% gain 64->128)",
+              t128 < 1.35 * t64);
+
+  // Overhead attribution, as the paper's §4.3 analysis does.
+  // (a) "At 8 nodes, 40% of Triolet's overhead relative to C+MPI+OpenMP is
+  //     attributable to the garbage collector" — re-simulate Triolet with
+  //     malloc-like allocation (multiplier 1) and compare, exactly the
+  //     paper's libc-malloc substitution experiment.
+  {
+    MeasuredSystem no_gc = m.triolet;
+    no_gc.net.alloc_multiplier = 1.0;
+    double t_gc = simulate_point(m.triolet, 8, 16).seconds;
+    double t_malloc = simulate_point(no_gc, 8, 16).seconds;
+    double t_c = simulate_point(m.lowlevel, 8, 16).seconds;
+    double overhead = t_gc - t_c;
+    double gc_share = overhead > 0 ? (t_gc - t_malloc) / overhead : 0.0;
+    std::printf("\nTriolet 8-node overhead attribution: total %.5fs over C, "
+                "%.0f%% from allocator (paper: 40%%)\n",
+                overhead, 100.0 * gc_share);
+    // Our cost model carries fewer non-GC overheads than the real runtime,
+    // so the allocator's share lands higher than the paper's 40%; the
+    // reproduced claim is that allocation is a major, removable component.
+    shape_check("allocation is a major component of Triolet's 8-node gap "
+                "(>20%), removable by a malloc-style allocator",
+                gc_share > 0.20 && t_malloc < t_gc);
+  }
+  // (b) "At 128 cores, transposition takes 35% of Eden's execution time" —
+  //     Eden transposes sequentially at the master. Our Eden fails beyond
+  //     one node, so report the fraction at its largest completing config.
+  {
+    // Lift the buffer limit to evaluate the hypothetical 128-core Eden run
+    // the paper measured before it started failing.
+    MeasuredSystem unbounded = m.eden;
+    unbounded.buffer_capacity = 0;
+    double t_eden = simulate_point(unbounded, 8, 16).seconds;
+    double frac = m.eden.root_prep_seconds / t_eden;
+    std::printf("Eden sequential-transpose share at 128 cores: %.0f%% "
+                "(paper: 35%%)\n",
+                100.0 * frac);
+    // Informational only — scale artifact (EXPERIMENTS.md): a 384x384
+    // transpose fits in cache and costs ~1% here, where the paper's
+    // 4k x 4k took 35% of Eden's time. What does reproduce is the cause:
+    // Eden's transpose runs serially at the master while Triolet's runs
+    // under localpar (compare root_prep handling in measure_sgemm).
+    (void)frac;
+  }
+  return 0;
+}

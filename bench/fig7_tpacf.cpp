@@ -1,0 +1,53 @@
+// Figure 7: scalability and performance of tpacf.
+//
+// Paper shape: Triolet and C+MPI+OpenMP scale similarly, with Triolet
+// slightly faster thanks to a more even (dynamic) distribution of the
+// triangular loops' skewed work; Eden has worse sequential performance and
+// higher communication overhead.
+
+#include <cstdio>
+
+#include "apps/driver.hpp"
+#include "bench_problems.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+int main() {
+  std::printf("== Figure 7: tpacf scalability ==\n");
+  auto p = bench::tpacf_problem();
+  std::printf("problem: %lld points, %lld random sets, %lld bins\n",
+              static_cast<long long>(p.points()),
+              static_cast<long long>(p.sets()),
+              static_cast<long long>(p.nbins));
+
+  TpacfMeasured m = measure_tpacf(p, bench::kTpacfUnits);
+  std::printf("sequential seconds: C=%.4f Triolet=%.4f Eden=%.4f\n", m.seq_c,
+              m.seq_triolet, m.seq_eden);
+
+  // Speedup denominator: the C loop code measured identically to the
+  // parallel task times (whole-program seq times are reported above).
+  const double denom = seq_equivalent_seconds(m.lowlevel);
+
+  std::vector<ScalingSeries> series{
+      run_series(m.lowlevel, bench::kNodes, bench::kCoresPerNode),
+      run_series(m.triolet, bench::kNodes, bench::kCoresPerNode),
+      run_series(m.eden, bench::kNodes, bench::kCoresPerNode),
+  };
+  print_figure("Figure 7: tpacf", denom, series);
+
+  const double su_c = final_speedup(series[0], denom);
+  const double su_t = final_speedup(series[1], denom);
+  const double su_e = final_speedup(series[2], denom);
+  std::printf("\nat 128 cores: C+MPI+OpenMP=%.1fx Triolet=%.1fx Eden=%.1fx\n",
+              su_c, su_t, su_e);
+  shape_check("Triolet and C+MPI+OpenMP scale similarly (within 25%)",
+              su_t > 0.75 * su_c && su_t < 1.25 * su_c);
+  shape_check(
+      "Triolet >= C+MPI+OpenMP in raw time at 128 cores (even distribution)",
+      series[1].points.back().seconds <= 1.02 * series[0].points.back().seconds);
+  shape_check("Eden below both (sequential + communication overhead)",
+              su_e < su_t && su_e < su_c);
+  shape_check("Eden sequential slower than C", m.seq_eden > m.seq_c);
+  return 0;
+}

@@ -1,0 +1,125 @@
+// §1's motivating measurement: the naive Eden port of cutcp's histogram
+// loop, written with idiomatic list comprehensions —
+//
+//     floatHist [f a r | a <- atoms, r <- gridPts a]
+//
+// — has per-thread performance "an order of magnitude lower than sequential
+// C chiefly due to the overhead of list manipulation". This harness runs
+// the same computation three ways on the same inputs:
+//
+//   1. sequential C loop nest (no intermediates)
+//   2. naive boxed-list pipeline: every (cell, potential) pair becomes a
+//      boxed cons cell, the comprehension output is materialized as one
+//      list, then floatHist folds it — eden::List supplies honest GHC-style
+//      boxing
+//   3. the fused Triolet pipeline (concat_map|filter|map|float_histogram)
+//
+// and checks C ≈ Triolet << naive-Eden.
+
+#include <cstdio>
+
+#include "apps/cutcp.hpp"
+#include "apps/driver.hpp"
+#include "core/triolet.hpp"
+#include "eden/list.hpp"
+#include "support/table.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+namespace {
+
+/// The naive Eden version: materialize the full boxed list of contributions
+/// (the desugared list comprehension), then fold it into the histogram.
+CutcpGrid cutcp_eden_naive(const CutcpProblem& p) {
+  const GridSpec& g = p.grid;
+  const float cutoff2 = g.cutoff * g.cutoff;
+  const float inv_cutoff2 = 1.0f / cutoff2;
+  const float eps = 0.25f * g.spacing;
+
+  using Contribution = std::pair<index_t, float>;
+  std::vector<Contribution> generated;
+  for (index_t i = 0; i < p.atoms.size(); ++i) {
+    const Atom a = p.atoms[i];
+    // gridPts a: all lattice points near the atom.
+    auto clampi = [](index_t v, index_t lo, index_t hi) {
+      return std::min(std::max(v, lo), hi);
+    };
+    auto lo = [&](float c, index_t n) {
+      return clampi(static_cast<index_t>(std::ceil((c - g.cutoff) / g.spacing)),
+                    0, n);
+    };
+    auto hi = [&](float c, index_t n) {
+      return clampi(
+          static_cast<index_t>(std::floor((c + g.cutoff) / g.spacing)) + 1, 0,
+          n);
+    };
+    for (index_t z = lo(a.z, g.nz); z < hi(a.z, g.nz); ++z) {
+      for (index_t y = lo(a.y, g.ny); y < hi(a.y, g.ny); ++y) {
+        for (index_t x = lo(a.x, g.nx); x < hi(a.x, g.nx); ++x) {
+          float dx = static_cast<float>(x) * g.spacing - a.x;
+          float dy = static_cast<float>(y) * g.spacing - a.y;
+          float dz = static_cast<float>(z) * g.spacing - a.z;
+          float r2 = dx * dx + dy * dy + dz * dz;
+          if (r2 < cutoff2) {
+            float t = 1.0f - r2 * inv_cutoff2;
+            float r = std::sqrt(r2);
+            generated.emplace_back((z * g.ny + y) * g.nx + x,
+                                   a.q * t * t / std::max(r, eps));
+          }
+        }
+      }
+    }
+  }
+  // The comprehension's output *as a boxed cons list* (one heap box per
+  // element plus one cons cell, what [f a r | ...] costs in Eden)...
+  auto boxed = eden::List<Contribution>::from_vector(generated);
+  // ...consumed by floatHist: a fold over the list.
+  CutcpGrid grid(p.grid.cells(), 0.0f);
+  boxed.foldl(
+      [&grid](int acc, const Contribution& c) {
+        grid[c.first] += c.second;
+        return acc;
+      },
+      0);
+  return grid;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 1: naive list-comprehension Eden vs C ==\n");
+  // Small enough that the boxed pipeline's millions of allocations finish
+  // quickly, big enough to measure.
+  CutcpProblem p = make_cutcp(1500, 24, 24, 24, 2.0f, 0xA5);
+
+  CutcpGrid ref = cutcp_seq_c(p);
+  double t_c = measure_seconds([&] { (void)cutcp_seq_c(p); });
+  double t_naive = measure_seconds([&] { (void)cutcp_eden_naive(p); }, 2);
+  double t_triolet =
+      measure_seconds([&] { (void)cutcp_triolet(p, core::ParHint::kSeq); });
+
+  // All three agree on the answer.
+  double err_naive = cutcp_rel_error(ref, cutcp_eden_naive(p));
+  double err_triolet =
+      cutcp_rel_error(ref, cutcp_triolet(p, core::ParHint::kSeq));
+
+  Table t({"version", "seconds", "vs C"});
+  t.add_row({"sequential C", Table::num(t_c, 5), "1.00x"});
+  t.add_row({"Triolet (fused)", Table::num(t_triolet, 5),
+             Table::num(t_triolet / t_c, 2) + "x"});
+  t.add_row({"Eden (naive lists)", Table::num(t_naive, 5),
+             Table::num(t_naive / t_c, 2) + "x"});
+  t.print("cutcp histogram loop, one core");
+
+  shape_check("all versions agree", err_naive < 2e-4 && err_triolet < 2e-4);
+  shape_check("naive boxed-list pipeline is several times slower than C "
+              "(paper: an order of magnitude)",
+              t_naive > 3.0 * t_c);
+  shape_check("the fused Triolet pipeline stays within 2x of C",
+              t_triolet < 2.0 * t_c);
+  std::printf("\nThis is the gap Triolet's fusible iterators close: the same "
+              "high-level pipeline,\nfused into a loop nest instead of "
+              "materialized as boxed lists.\n");
+  return 0;
+}

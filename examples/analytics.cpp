@@ -1,0 +1,96 @@
+// Aggregate analytics over a synthetic event log: a tour of the consumer
+// API (count, sum, average, minimum/maximum, any_of/find_first, histogram)
+// over one fused, irregular iterator pipeline.
+//
+// Build & run:  ./build/examples/analytics
+
+#include <cstdio>
+
+#include "core/triolet.hpp"
+#include "support/rng.hpp"
+
+using namespace triolet;
+using namespace triolet::core;
+
+namespace {
+
+struct Event {
+  std::int64_t user = 0;
+  std::int64_t latency_us = 0;
+  bool error = false;
+};
+
+Array1<Event> synthesize(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Array1<Event> log(n);
+  for (index_t i = 0; i < n; ++i) {
+    Event e;
+    e.user = static_cast<std::int64_t>(rng.below(5000));
+    // Log-normal-ish latency: mostly fast, occasionally terrible.
+    double base = rng.uniform(0.5, 2.0);
+    double tail = rng.uniform() < 0.01 ? rng.uniform(50, 500) : 1.0;
+    e.latency_us = static_cast<std::int64_t>(1000 * base * tail);
+    e.error = rng.uniform() < 0.002;
+    log[i] = e;
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  const index_t n = 2'000'000;
+  Array1<Event> log = synthesize(n, 77);
+
+  // One lazy pipeline, consumed many ways; each consumer fuses the chain
+  // into its own single pass.
+  auto events = from_array(log);
+  auto latencies = map(events, [](const Event& e) { return e.latency_us; });
+  auto slow = filter(latencies,
+                     [](std::int64_t us) { return us > 100'000; });
+
+  std::printf("events                 : %lld\n", static_cast<long long>(n));
+  std::printf("total latency (s)      : %.1f\n",
+              static_cast<double>(sum(localpar(latencies))) / 1e6);
+  std::printf("mean latency (us)      : %.0f\n", average(latencies));
+  std::printf("min / max latency (us) : %lld / %lld\n",
+              static_cast<long long>(minimum(latencies)),
+              static_cast<long long>(maximum(latencies)));
+  std::printf("slow events (>100ms)   : %lld\n",
+              static_cast<long long>(count(localpar(slow))));
+  std::printf("any errors?            : %s\n",
+              any_of(events, [](const Event& e) { return e.error; })
+                  ? "yes" : "no");
+
+  auto first_err = find_first(indexed(events), [](const auto& ie) {
+    return ie.second.error;
+  });
+  if (first_err) {
+    std::printf("first error at index   : %lld (user %lld)\n",
+                static_cast<long long>(first_err->first),
+                static_cast<long long>(first_err->second.user));
+  }
+
+  // Latency histogram in decades, threaded with per-worker privatization.
+  auto buckets = map(latencies, [](std::int64_t us) {
+    index_t b = 0;
+    while (us >= 10 && b < 7) {
+      us /= 10;
+      ++b;
+    }
+    return b;
+  });
+  auto hist = histogram(8, localpar(buckets));
+  std::printf("\nlatency decades (us):\n");
+  const char* labels[] = {"<10",    "10-100",  "100-1k",  "1k-10k",
+                          "10k-100k", "100k-1M", "1M-10M",  ">=10M"};
+  for (index_t b = 0; b < 8; ++b) {
+    std::printf("  %-9s %8lld %s\n", labels[b],
+                static_cast<long long>(hist[b]),
+                std::string(static_cast<std::size_t>(
+                                hist[b] * 50 / std::max<std::int64_t>(1, n)),
+                            '#')
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// cutcp (paper §4.5) as an application of the public API: the electrostatic
+// potential induced by a collection of charged atoms at all points on a
+// grid, computed as a distributed floating-point histogram over a nested,
+// irregular traversal:
+//
+//   atoms --concat_map--> nearby grid points --filter--> within cutoff
+//         --map--> (cell, potential) --float_histogram--> potential grid
+//
+// Build & run:  ./build/examples/cutcp_potential
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/cutcp.hpp"
+#include "dist/skeletons.hpp"
+#include "net/cluster.hpp"
+
+using namespace triolet;
+using namespace triolet::apps;
+
+int main() {
+  // A small molecular box: 2000 atoms over a 24^3 lattice.
+  CutcpProblem problem = make_cutcp(2000, 24, 24, 24, 2.0f, 31);
+
+  // Reference: plain sequential loop nest.
+  CutcpGrid ref = cutcp_seq_c(problem);
+
+  // Threaded on one node.
+  CutcpGrid local = cutcp_triolet(problem, core::ParHint::kLocal);
+
+  // Distributed across 4 nodes x 2 threads: atoms are sliced per node, each
+  // node builds a private grid with threads, grids sum at the root.
+  CutcpGrid dist_grid;
+  auto result = net::Cluster::run(4, [&](net::Comm& comm) {
+    dist::NodeRuntime node(2);
+    auto r = cutcp_triolet_dist(comm, problem);
+    if (comm.rank() == 0) dist_grid = std::move(r);
+  });
+  if (!result.ok) {
+    std::printf("cluster failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  std::printf("grid cells: %lld\n",
+              static_cast<long long>(problem.grid.cells()));
+  std::printf("rel. error (threads vs seq C): %.3e\n",
+              cutcp_rel_error(ref, local));
+  std::printf("rel. error (4 nodes  vs seq C): %.3e\n",
+              cutcp_rel_error(ref, dist_grid));
+  std::printf("traffic: %lld bytes (atom slices out, grids back)\n",
+              static_cast<long long>(result.total_stats.bytes_sent));
+
+  // A slice through the middle of the potential field.
+  const auto& g = problem.grid;
+  std::printf("\npotential along the box's central row:\n");
+  for (index_t x = 0; x < g.nx; x += 2) {
+    index_t cell = ((g.nz / 2) * g.ny + g.ny / 2) * g.nx + x;
+    double v = dist_grid[cell];
+    int bars = static_cast<int>(std::min(60.0, std::abs(v) * 2.0));
+    std::printf("  x=%2lld % 8.3f %s\n", static_cast<long long>(x), v,
+                std::string(static_cast<std::size_t>(bars), v >= 0 ? '+' : '-')
+                    .c_str());
+  }
+  return cutcp_rel_error(ref, dist_grid) < 1e-4 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// The paper's §2 two-line matrix multiplication with 2D block distribution:
+//
+//   zipped_AB = outerproduct(rows(A), rows(BT))
+//   AB = [dot(u, v) for (u, v) in par(zipped_AB)]
+//
+// `rows` reinterprets each matrix as a 1D iterator over rows;
+// `outerproduct` pairs row u of A with row v of BT at block position (u, v);
+// slicing a 2D block of the result extracts exactly the rows of A and BT
+// that block needs — so each cluster node receives only its input rows.
+//
+// Build & run:  ./build/examples/matmul_blocks
+
+#include <cstdio>
+
+#include "core/triolet.hpp"
+#include "dist/skeletons.hpp"
+#include "net/cluster.hpp"
+#include "support/rng.hpp"
+
+using namespace triolet;
+
+int main() {
+  const core::index_t n = 128, k = 96, m = 112;
+  Xoshiro256 rng(7);
+  Array2<double> a(n, k), b(k, m);
+  for (core::index_t y = 0; y < n; ++y)
+    for (core::index_t x = 0; x < k; ++x) a(y, x) = rng.uniform(-1, 1);
+  for (core::index_t y = 0; y < k; ++y)
+    for (core::index_t x = 0; x < m; ++x) b(y, x) = rng.uniform(-1, 1);
+
+  // Transpose B so dot products read contiguous rows.
+  Array2<double> bt = transpose(b);
+
+  // The two-line program.
+  auto dot = [](const auto& uv) {
+    double acc = 0;
+    for (std::size_t i = 0; i < uv.first.size(); ++i)
+      acc += uv.first[i] * uv.second[i];
+    return acc;
+  };
+  auto ab_expr = [&] {
+    return core::par(
+        core::map(core::outerproduct(core::rows(a), core::rows(bt)), dot));
+  };
+
+  Array2<double> ab;
+  auto result = net::Cluster::run(4, [&](net::Comm& comm) {
+    dist::NodeRuntime node(2);
+    auto r = dist::build_array2(comm, ab_expr);
+    if (comm.rank() == 0) ab = std::move(r);
+  });
+  if (!result.ok) {
+    std::printf("cluster failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  // Validate against a straightforward triple loop.
+  double max_err = 0;
+  for (core::index_t y = 0; y < n; ++y) {
+    for (core::index_t x = 0; x < m; ++x) {
+      double ref = 0;
+      for (core::index_t i = 0; i < k; ++i) ref += a(y, i) * b(i, x);
+      max_err = std::max(max_err, std::abs(ref - ab(y, x)));
+    }
+  }
+  std::printf("distributed %lldx%lld matmul on 4 nodes: max abs error %.3e\n",
+              static_cast<long long>(n), static_cast<long long>(m), max_err);
+  std::printf("traffic: %lld bytes (only the rows each block needs)\n",
+              static_cast<long long>(result.total_stats.bytes_sent));
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "core/domains.hpp"
+
+#include <cmath>
+
+namespace triolet::core {
+
+std::vector<Dim2> split_blocks(Dim2 d, int k) {
+  TRIOLET_CHECK(k >= 1, "need at least one chunk");
+  // Pick the factorization ry * rx = k whose block aspect ratio is closest
+  // to square (block height/width ratio nearest 1).
+  int best_ry = 1;
+  double best_badness = 1e300;
+  for (int ry = 1; ry <= k; ++ry) {
+    if (k % ry != 0) continue;
+    int rx = k / ry;
+    double bh = static_cast<double>(d.rows()) / ry;
+    double bw = static_cast<double>(d.cols()) / rx;
+    if (bh <= 0.0 || bw <= 0.0) continue;
+    double badness = std::abs(std::log(bh / bw));
+    if (badness < best_badness) {
+      best_badness = badness;
+      best_ry = ry;
+    }
+  }
+  const int ry = best_ry;
+  const int rx = k / best_ry;
+  std::vector<Dim2> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int by = 0; by < ry; ++by) {
+    index_t ya = d.y0 + d.rows() * by / ry;
+    index_t yb = d.y0 + d.rows() * (by + 1) / ry;
+    for (int bx = 0; bx < rx; ++bx) {
+      index_t xa = d.x0 + d.cols() * bx / rx;
+      index_t xb = d.x0 + d.cols() * (bx + 1) / rx;
+      out.push_back(Dim2{ya, yb, xa, xb});
+    }
+  }
+  return out;
+}
+
+std::vector<Dim3> split_blocks(Dim3 d, int k) {
+  TRIOLET_CHECK(k >= 1, "need at least one chunk");
+  const index_t nz = d.z1 - d.z0, ny = d.y1 - d.y0, nx = d.x1 - d.x0;
+  // Search all factorizations kz * ky * kx = k for the most cubic blocks.
+  int best[3] = {k, 1, 1};
+  double best_badness = 1e300;
+  for (int kz = 1; kz <= k; ++kz) {
+    if (k % kz != 0) continue;
+    int rest = k / kz;
+    for (int ky = 1; ky <= rest; ++ky) {
+      if (rest % ky != 0) continue;
+      int kx = rest / ky;
+      double bz = static_cast<double>(nz) / kz;
+      double by = static_cast<double>(ny) / ky;
+      double bx = static_cast<double>(nx) / kx;
+      if (bz <= 0 || by <= 0 || bx <= 0) continue;
+      double badness = std::abs(std::log(bz / by)) +
+                       std::abs(std::log(by / bx)) +
+                       std::abs(std::log(bz / bx));
+      if (badness < best_badness) {
+        best_badness = badness;
+        best[0] = kz;
+        best[1] = ky;
+        best[2] = kx;
+      }
+    }
+  }
+  std::vector<Dim3> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int bz = 0; bz < best[0]; ++bz) {
+    index_t za = d.z0 + nz * bz / best[0];
+    index_t zb = d.z0 + nz * (bz + 1) / best[0];
+    for (int by = 0; by < best[1]; ++by) {
+      index_t ya = d.y0 + ny * by / best[1];
+      index_t yb = d.y0 + ny * (by + 1) / best[1];
+      for (int bx = 0; bx < best[2]; ++bx) {
+        index_t xa = d.x0 + nx * bx / best[2];
+        index_t xb = d.x0 + nx * (bx + 1) / best[2];
+        out.push_back(Dim3{za, zb, ya, yb, xa, xb});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace triolet::core

@@ -1,0 +1,229 @@
+#pragma once
+
+// Index-space domains (paper §3.3, class Domain).
+//
+// A domain characterizes an iteration space: `Seq` is a one-dimensional
+// index range, `Dim2`/`Dim3` are dense multidimensional boxes. Domains know
+// their index type, iterate themselves in a canonical (row-major) order, and
+// split into contiguous blocks — the primitive behind both node-level work
+// distribution and the 2D block decomposition used by sgemm.
+//
+// Domains carry absolute bounds rather than sizes, so a chunk of a domain is
+// itself a domain whose indices keep their global meaning. Together with the
+// global base offsets on arrays (array/array.hpp), this is what lets a
+// sliced task run unmodified on a remote node.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace triolet::core {
+
+using index_t = std::int64_t;
+
+/// Two-dimensional index.
+struct Index2 {
+  index_t y = 0;
+  index_t x = 0;
+  bool operator==(const Index2&) const = default;
+};
+
+/// Three-dimensional index.
+struct Index3 {
+  index_t z = 0;
+  index_t y = 0;
+  index_t x = 0;
+  bool operator==(const Index3&) const = default;
+};
+
+/// One-dimensional domain: indices lo <= i < hi.
+struct Seq {
+  index_t lo = 0;
+  index_t hi = 0;
+
+  using Index = index_t;
+
+  index_t size() const { return hi > lo ? hi - lo : 0; }
+  bool contains(index_t i) const { return i >= lo && i < hi; }
+
+  /// Position of `i` in iteration order.
+  index_t ordinal(index_t i) const { return i - lo; }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (index_t i = lo; i < hi; ++i) f(i);
+  }
+
+  bool operator==(const Seq&) const = default;
+};
+
+/// Dense 2D box: y0 <= y < y1 (rows), x0 <= x < x1 (columns).
+struct Dim2 {
+  index_t y0 = 0, y1 = 0;
+  index_t x0 = 0, x1 = 0;
+
+  using Index = Index2;
+
+  index_t rows() const { return y1 > y0 ? y1 - y0 : 0; }
+  index_t cols() const { return x1 > x0 ? x1 - x0 : 0; }
+  index_t size() const { return rows() * cols(); }
+  bool contains(Index2 i) const {
+    return i.y >= y0 && i.y < y1 && i.x >= x0 && i.x < x1;
+  }
+
+  index_t ordinal(Index2 i) const { return (i.y - y0) * cols() + (i.x - x0); }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (index_t y = y0; y < y1; ++y) {
+      for (index_t x = x0; x < x1; ++x) f(Index2{y, x});
+    }
+  }
+
+  bool operator==(const Dim2&) const = default;
+};
+
+/// Dense 3D box (z-major iteration).
+struct Dim3 {
+  index_t z0 = 0, z1 = 0;
+  index_t y0 = 0, y1 = 0;
+  index_t x0 = 0, x1 = 0;
+
+  using Index = Index3;
+
+  index_t size() const {
+    index_t nz = z1 > z0 ? z1 - z0 : 0;
+    index_t ny = y1 > y0 ? y1 - y0 : 0;
+    index_t nx = x1 > x0 ? x1 - x0 : 0;
+    return nz * ny * nx;
+  }
+  bool contains(Index3 i) const {
+    return i.z >= z0 && i.z < z1 && i.y >= y0 && i.y < y1 && i.x >= x0 &&
+           i.x < x1;
+  }
+
+  index_t ordinal(Index3 i) const {
+    return ((i.z - z0) * (y1 - y0) + (i.y - y0)) * (x1 - x0) + (i.x - x0);
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (index_t z = z0; z < z1; ++z) {
+      for (index_t y = y0; y < y1; ++y) {
+        for (index_t x = x0; x < x1; ++x) f(Index3{z, y, x});
+      }
+    }
+  }
+
+  bool operator==(const Dim3&) const = default;
+};
+
+template <typename D>
+using IndexOf = typename D::Index;
+
+// -- intersection (used by zip: visit common points; paper §3.3) -------------
+
+inline Seq intersect(Seq a, Seq b) {
+  return Seq{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+inline Dim2 intersect(Dim2 a, Dim2 b) {
+  return Dim2{std::max(a.y0, b.y0), std::min(a.y1, b.y1),
+              std::max(a.x0, b.x0), std::min(a.x1, b.x1)};
+}
+
+inline Dim3 intersect(Dim3 a, Dim3 b) {
+  return Dim3{std::max(a.z0, b.z0), std::min(a.z1, b.z1),
+              std::max(a.y0, b.y0), std::min(a.y1, b.y1),
+              std::max(a.x0, b.x0), std::min(a.x1, b.x1)};
+}
+
+// -- block splitting ----------------------------------------------------------
+
+// -- ordinal-range traversal -----------------------------------------------------
+//
+// Parallel loops address work by *ordinal* (position in canonical order).
+// Walking an ordinal range must not reconstruct multidimensional indices
+// with a division and modulus per element — that is precisely the
+// flattening overhead §3.3 warns about. These walkers pay one div/mod to
+// enter the range, then iterate with nested loops and carries.
+
+template <typename F>
+void for_ordinal_range(Seq d, index_t a, index_t b, F&& f) {
+  for (index_t i = d.lo + a; i < d.lo + b; ++i) f(i);
+}
+
+template <typename F>
+void for_ordinal_range(Dim2 d, index_t a, index_t b, F&& f) {
+  if (a >= b) return;
+  const index_t cols = d.cols();
+  index_t y = d.y0 + a / cols;
+  index_t x = d.x0 + a % cols;
+  for (index_t ord = a; ord < b;) {
+    const index_t stop = std::min(b, ord + (d.x1 - x));
+    for (; ord < stop; ++ord, ++x) f(Index2{y, x});
+    if (x == d.x1) {
+      x = d.x0;
+      ++y;
+    }
+  }
+}
+
+template <typename F>
+void for_ordinal_range(Dim3 d, index_t a, index_t b, F&& f) {
+  if (a >= b) return;
+  const index_t ny = d.y1 - d.y0, nx = d.x1 - d.x0;
+  index_t z = d.z0 + a / (ny * nx);
+  index_t rem = a % (ny * nx);
+  index_t y = d.y0 + rem / nx;
+  index_t x = d.x0 + rem % nx;
+  for (index_t ord = a; ord < b;) {
+    const index_t stop = std::min(b, ord + (d.x1 - x));
+    for (; ord < stop; ++ord, ++x) f(Index3{z, y, x});
+    if (x == d.x1) {
+      x = d.x0;
+      if (++y == d.y1) {
+        y = d.y0;
+        ++z;
+      }
+    }
+  }
+}
+
+/// Splits [lo, hi) into `k` contiguous nearly-equal chunks (some possibly
+/// empty when k > size).
+inline std::vector<Seq> split_blocks(Seq d, int k) {
+  TRIOLET_CHECK(k >= 1, "need at least one chunk");
+  std::vector<Seq> out;
+  out.reserve(static_cast<std::size_t>(k));
+  const index_t n = d.size();
+  for (int c = 0; c < k; ++c) {
+    index_t a = d.lo + n * c / k;
+    index_t b = d.lo + n * (c + 1) / k;
+    out.push_back(Seq{a, b});
+  }
+  return out;
+}
+
+/// Chooses a grid ry x rx with ry * rx == k, as close to the box's aspect
+/// ratio as possible, and returns the k = ry*rx sub-blocks in row-major
+/// order. This is the 2D block decomposition of sgemm (paper §2).
+std::vector<Dim2> split_blocks(Dim2 d, int k);
+
+/// Splits a 3D box into k sub-boxes: factorizes k into a (kz, ky, kx) grid
+/// whose blocks are as close to cubic as possible.
+std::vector<Dim3> split_blocks(Dim3 d, int k);
+
+/// Splits into chunks of at most `grain` indices each (1D).
+inline std::vector<Seq> split_grain(Seq d, index_t grain) {
+  TRIOLET_CHECK(grain >= 1, "grain must be positive");
+  std::vector<Seq> out;
+  for (index_t a = d.lo; a < d.hi; a += grain) {
+    out.push_back(Seq{a, std::min(d.hi, a + grain)});
+  }
+  if (out.empty()) out.push_back(d);
+  return out;
+}
+
+}  // namespace triolet::core

@@ -1,0 +1,210 @@
+#pragma once
+
+// The per-encoding combinator layer (paper §3.1 and Figure 1).
+//
+// "Triolet's iterator library is layered on top of a library of fusible
+// operations for manipulating each of these virtual data structures. We use
+// conventional names for these library functions along with a subscript to
+// indicate what encoding they are implemented for, e.g., mapIdx, mapStep,
+// mapFold, and mapColl ... We use conversion functions named by their input
+// and output encoding, such as idxToColl."
+//
+// This header is that layer for the fold and collector encodings (the
+// stepper combinators live in core/step.hpp, the indexer ones in
+// core/indexer.hpp as extractor composition). The hybrid Iter uses these
+// internally; they are public because custom skeletons compose them
+// directly, exactly as the paper's library does.
+//
+// Shapes:
+//   FoldE<Impl>   pure accumulation: fold(w, z) applies w(elem, acc)
+//   CollE<Impl>   imperative: collect(w) invokes a side-effecting worker
+//
+// Figure 1's feature matrix falls out of the types: folds/collectors fuse
+// map, filter and nested traversal (each combinator wraps the traversal in
+// more inlineable code) but expose no random access (no parallelism, no
+// zip) — and only collectors permit mutation.
+
+#include <utility>
+
+#include "core/domains.hpp"
+#include "core/indexer.hpp"
+#include "core/step.hpp"
+
+namespace triolet::core {
+
+// -- encodings ----------------------------------------------------------------------
+
+/// Fold encoding: Impl is a callable taking a per-element visitor; fold
+/// threads an accumulator through it in canonical order.
+template <typename Impl>
+struct FoldE {
+  Impl impl;
+
+  template <typename W, typename A>
+  A fold(W&& w, A acc) const {
+    impl([&](auto&& v) {
+      acc = w(std::forward<decltype(v)>(v), std::move(acc));
+    });
+    return acc;
+  }
+
+  /// Runs the traversal for its side effects on the visitor.
+  template <typename F>
+  void each(F&& f) const {
+    impl(std::forward<F>(f));
+  }
+};
+
+/// Collector encoding: like a fold, but the worker mutates external state
+/// instead of threading an accumulator ("an imperative variant of a fold").
+template <typename Impl>
+struct CollE {
+  Impl impl;
+
+  template <typename W>
+  void collect(W&& w) const {
+    impl(std::forward<W>(w));
+  }
+};
+
+template <typename Impl>
+FoldE<Impl> make_fold(Impl impl) {
+  return {std::move(impl)};
+}
+
+template <typename Impl>
+CollE<Impl> make_collector(Impl impl) {
+  return {std::move(impl)};
+}
+
+// -- fold combinators (mapFold, filterFold, concatMapFold) -----------------------------
+
+template <typename Impl, typename G>
+auto map_fold(FoldE<Impl> base, G g) {
+  auto impl = [base = std::move(base), g](auto&& visit_elem) {
+    base.each([&](auto&& v) { visit_elem(g(std::forward<decltype(v)>(v))); });
+  };
+  return make_fold(std::move(impl));
+}
+
+template <typename Impl, typename P>
+auto filter_fold(FoldE<Impl> base, P p) {
+  auto impl = [base = std::move(base), p](auto&& visit_elem) {
+    base.each([&](auto&& v) {
+      if (p(v)) visit_elem(std::forward<decltype(v)>(v));
+    });
+  };
+  return make_fold(std::move(impl));
+}
+
+/// `g` maps each element to another fold whose elements are visited in turn
+/// — nested traversals pose no optimization trouble for folds (§3.1: the
+/// inner fold's loop lands inside the outer loop's body).
+template <typename Impl, typename G>
+auto concat_map_fold(FoldE<Impl> base, G g) {
+  auto impl = [base = std::move(base), g](auto&& visit_elem) {
+    base.each([&](auto&& v) {
+      g(std::forward<decltype(v)>(v)).each(visit_elem);
+    });
+  };
+  return make_fold(std::move(impl));
+}
+
+// -- collector combinators (mapColl, filterColl, concatMapColl) -------------------------
+
+template <typename Impl, typename G>
+auto map_coll(CollE<Impl> base, G g) {
+  auto impl = [base = std::move(base), g](auto&& worker) {
+    base.collect([&](auto&& v) { worker(g(std::forward<decltype(v)>(v))); });
+  };
+  return make_collector(std::move(impl));
+}
+
+template <typename Impl, typename P>
+auto filter_coll(CollE<Impl> base, P p) {
+  auto impl = [base = std::move(base), p](auto&& worker) {
+    base.collect([&](auto&& v) {
+      if (p(v)) worker(std::forward<decltype(v)>(v));
+    });
+  };
+  return make_collector(std::move(impl));
+}
+
+template <typename Impl, typename G>
+auto concat_map_coll(CollE<Impl> base, G g) {
+  auto impl = [base = std::move(base), g](auto&& worker) {
+    base.collect([&](auto&& v) {
+      g(std::forward<decltype(v)>(v)).collect(worker);
+    });
+  };
+  return make_collector(std::move(impl));
+}
+
+// -- conversions (the rows of Figure 1 ordered by control: Idx > Step > Fold/Coll) ------
+
+/// idxToFold: loops over all points of the indexer's domain (paper §3.3:
+/// "convert an indexer to a fold ... that loops over all points in the
+/// domain").
+template <typename D, typename Src, typename Ext>
+auto idx_to_fold(Indexer<D, Src, Ext> ix) {
+  auto impl = [ix = std::move(ix)](auto&& visit_elem) {
+    ix.dom.for_each([&](IndexOf<D> i) { visit_elem(ix.at(i)); });
+  };
+  return make_fold(std::move(impl));
+}
+
+/// idxToColl (paper §3.1 gives this conversion explicitly; "this conversion
+/// removes the potential for parallelization").
+template <typename D, typename Src, typename Ext>
+auto idx_to_coll(Indexer<D, Src, Ext> ix) {
+  auto impl = [ix = std::move(ix)](auto&& worker) {
+    ix.dom.for_each([&](IndexOf<D> i) { worker(ix.at(i)); });
+  };
+  return make_collector(std::move(impl));
+}
+
+/// stepToFold: drains a stepper factory.
+template <typename SF>
+auto step_to_fold(SF sf) {
+  auto impl = [sf = std::move(sf)](auto&& visit_elem) {
+    auto s = sf.make();
+    drain(s, visit_elem);
+  };
+  return make_fold(std::move(impl));
+}
+
+/// stepToColl.
+template <typename SF>
+auto step_to_coll(SF sf) {
+  auto impl = [sf = std::move(sf)](auto&& worker) {
+    auto s = sf.make();
+    drain(s, worker);
+  };
+  return make_collector(std::move(impl));
+}
+
+/// foldToColl: a fold downgrades to a collector (one step down the control
+/// lattice); the reverse direction does not exist.
+template <typename Impl>
+auto fold_to_coll(FoldE<Impl> f) {
+  auto impl = [f = std::move(f)](auto&& worker) { f.each(worker); };
+  return make_collector(std::move(impl));
+}
+
+// -- terminal consumers ------------------------------------------------------------------
+
+template <typename Impl>
+auto sum_fold(const FoldE<Impl>& f) {
+  double acc = 0;  // numeric folds accumulate in double
+  f.each([&](auto&& v) { acc += static_cast<double>(v); });
+  return acc;
+}
+
+template <typename Impl>
+index_t count_fold(const FoldE<Impl>& f) {
+  index_t n = 0;
+  f.each([&](auto&&) { ++n; });
+  return n;
+}
+
+}  // namespace triolet::core

@@ -1,0 +1,51 @@
+#pragma once
+
+// Storage for serializable function objects.
+//
+// Triolet's runtime serializes closures when tasks are sent to cluster nodes
+// (§3.4). The C++ analogue: a fused loop body is a composite functor whose
+// captures are trivially copyable scalars (problem parameters such as a
+// cutoff radius), so the whole functor can cross the wire as raw bytes.
+// FnBox holds such a functor in plain byte storage, which makes the
+// enclosing iterator default-constructible (required to deserialize into)
+// even when the functor type itself is not.
+//
+// Trivially copyable closure types are implicit-lifetime classes, so the
+// memcpy into `storage_` begins the lifetime of the functor object that
+// `fn()` then references.
+
+#include <cstring>
+#include <type_traits>
+
+#include "serial/serialize.hpp"
+
+namespace triolet::core {
+
+template <typename F>
+class FnBox {
+  static_assert(std::is_trivially_copyable_v<F>,
+                "distributable loop bodies must capture only trivially "
+                "copyable state (the closure crosses the wire as bytes)");
+
+ public:
+  FnBox() = default;  // uninitialized; filled by deserialization
+
+  FnBox(const F& f) {  // NOLINT(google-explicit-constructor): wrapper
+    std::memcpy(storage_, &f, sizeof(F));
+  }
+
+  const F& fn() const { return *reinterpret_cast<const F*>(storage_); }
+
+  /// Invokes the stored functor.
+  template <typename... Args>
+  decltype(auto) operator()(Args&&... args) const {
+    return fn()(std::forward<Args>(args)...);
+  }
+
+  alignas(F) unsigned char storage_[sizeof(F)];
+};
+
+}  // namespace triolet::core
+
+// FnBox is trivially copyable by construction, so serialization uses the
+// generic block-copy codec: the boxed closure crosses the wire as raw bytes.

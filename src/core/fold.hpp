@@ -1,0 +1,54 @@
+#pragma once
+
+// Iterator-to-encoding conversions (paper §3.1 / Figure 1's lattice, top
+// edge): any hybrid iterator converts *down* to the fold or collector
+// encoding — giving up control over execution order, and with it
+// parallelism ("this conversion removes the potential for parallelization").
+//
+// The encodings themselves and their combinators live in
+// core/encodings.hpp; this header supplies the iterator-level entry points
+// consumers and user code call.
+
+#include <utility>
+
+#include "core/encodings.hpp"
+#include "core/iter.hpp"
+
+namespace triolet::core {
+
+namespace detail {
+
+template <typename It>
+struct VisitAll {
+  It it;
+  template <typename F>
+  void operator()(F&& f) const {
+    visit(it, std::forward<F>(f));
+  }
+};
+
+}  // namespace detail
+
+/// Converts any iterator to a fold over its canonical order. Compatibility
+/// alias kept for existing call sites; identical to the FoldE encoding.
+template <typename Impl>
+using Fold = FoldE<Impl>;
+
+template <typename Impl>
+using Collector = CollE<Impl>;
+
+/// iterToFold: subsumes idxToFold / stepToFold for whole iterators.
+template <typename It>
+auto to_fold(It it) {
+  static_assert(is_iter_v<It>);
+  return make_fold(detail::VisitAll<It>{std::move(it)});
+}
+
+/// iterToColl: the imperative counterpart.
+template <typename It>
+auto to_collector(It it) {
+  static_assert(is_iter_v<It>);
+  return make_collector(detail::VisitAll<It>{std::move(it)});
+}
+
+}  // namespace triolet::core

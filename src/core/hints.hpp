@@ -1,0 +1,19 @@
+#pragma once
+
+// Parallelism hints (paper §2, §3.4).
+//
+// Library code cannot judge whether a loop is worth parallelizing, so the
+// user tags an iterator: `par` requests distributed + threaded execution,
+// `localpar` requests threaded execution on one node, and the default is
+// sequential. Skeletons that consume iterators inspect the hint and invoke
+// the distributed, threaded, or sequential implementation.
+
+namespace triolet::core {
+
+enum class ParHint {
+  kSeq,    // default: sequential loop
+  kLocal,  // localpar: threads within one node (shared memory)
+  kDist,   // par: distribute across nodes, threads within each node
+};
+
+}  // namespace triolet::core

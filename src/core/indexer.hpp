@@ -1,0 +1,162 @@
+#pragma once
+
+// The indexer encoding (paper §3.1 "Indexers", §3.5).
+//
+// An indexer is (domain, source, extractor): element i is ext(src, i).
+// Random access makes indexers the parallelizable encoding — any sub-domain
+// can be evaluated independently — and the (source, extractor) split makes
+// them partitionable: `slice` produces an indexer over a sub-domain whose
+// source holds only the data that sub-domain touches.
+//
+// Extractors are composite functors built from the structs below (map
+// composes MapExt, zip composes ZipExt, ...). They capture only trivially
+// copyable state, so a fused loop body ships to a remote rank as raw bytes —
+// the C++ analogue of Triolet's closure serialization. The whole indexer is
+// serializable whenever its source is.
+
+#include <tuple>
+#include <utility>
+
+#include "core/domains.hpp"
+#include "core/fnbox.hpp"
+#include "core/sources.hpp"
+
+namespace triolet::core {
+
+template <typename D, typename Src, typename Ext>
+struct Indexer {
+  using Dom = D;
+  using Source = Src;
+  using value_type = decltype(std::declval<const Ext&>()(
+      std::declval<const Src&>(), std::declval<IndexOf<D>>()));
+
+  D dom{};
+  Src src{};
+  FnBox<Ext> ext{};
+
+  value_type at(IndexOf<D> i) const { return ext.fn()(src, i); }
+
+  /// Element at position `ord` in the domain's canonical iteration order
+  /// (how parallel loops address work items).
+  value_type at_ordinal(index_t ord) const { return at(index_at(dom, ord)); }
+
+  index_t size() const { return dom.size(); }
+
+  /// Restricts to `sub`, extracting only the data `sub` needs (§3.5).
+  Indexer slice(D sub) const {
+    return Indexer{sub, slice_source(src, dom, sub), ext};
+  }
+
+  static index_t index_at(Seq d, index_t ord) { return d.lo + ord; }
+  static Index2 index_at(Dim2 d, index_t ord) {
+    return Index2{d.y0 + ord / d.cols(), d.x0 + ord % d.cols()};
+  }
+  static Index3 index_at(Dim3 d, index_t ord) {
+    index_t nx = d.x1 - d.x0;
+    index_t ny = d.y1 - d.y0;
+    return Index3{d.z0 + ord / (ny * nx), d.y0 + (ord / nx) % ny,
+                  d.x0 + ord % nx};
+  }
+};
+
+template <typename D, typename Src, typename Ext>
+Indexer<D, Src, Ext> make_indexer(D dom, Src src, Ext ext) {
+  return Indexer<D, Src, Ext>{dom, std::move(src), FnBox<Ext>(ext)};
+}
+
+// -- extractor building blocks -------------------------------------------------
+
+/// Yields the index itself (range / indices / array_range).
+struct IdentityExt {
+  template <typename I>
+  I operator()(const Unit&, I i) const {
+    return i;
+  }
+};
+
+/// Reads an element of an Array1 source (by value; elements are unboxed).
+struct Array1Ext {
+  template <typename T>
+  T operator()(const Array1<T>& a, index_t i) const {
+    return a[i];
+  }
+};
+
+/// Yields row `y` of an Array2 source as a borrowed span; the span points
+/// into the source held by the iterator, so no copying happens per task.
+struct RowsExt {
+  template <typename T>
+  std::span<const T> operator()(const Array2<T>& a, index_t y) const {
+    return a.row(y);
+  }
+};
+
+/// Composes a user function after a base extractor (map).
+template <typename Base, typename G>
+struct MapExt {
+  Base base;
+  G g;
+  template <typename Src, typename I>
+  auto operator()(const Src& s, I i) const {
+    return g(base(s, i));
+  }
+};
+
+/// Pairs two extractors over a zipped source (zip).
+template <typename EA, typename EB>
+struct ZipExt {
+  EA ea;
+  EB eb;
+  template <typename SA, typename SB, typename I>
+  auto operator()(const std::pair<SA, SB>& s, I i) const {
+    return std::pair(ea(s.first, i), eb(s.second, i));
+  }
+};
+
+/// Triples three extractors over a Zip3Source (zip3).
+template <typename EA, typename EB, typename EC>
+struct Zip3Ext {
+  EA ea;
+  EB eb;
+  EC ec;
+  template <typename SA, typename SB, typename SC, typename I>
+  auto operator()(const Zip3Source<SA, SB, SC>& s, I i) const {
+    return std::tuple(ea(s.a, i), eb(s.b, i), ec(s.c, i));
+  }
+};
+
+/// 2D outer product: block (y, x) pairs task y of `a` with task x of `b`.
+template <typename EA, typename EB>
+struct OuterExt {
+  EA ea;
+  EB eb;
+  template <typename SA, typename SB>
+  auto operator()(const OuterSource<SA, SB>& s, Index2 i) const {
+    return std::pair(ea(s.a, i.y), eb(s.b, i.x));
+  }
+};
+
+}  // namespace triolet::core
+
+namespace triolet::serial {
+
+template <typename D, typename Src, typename Ext>
+struct use_custom_codec<triolet::core::Indexer<D, Src, Ext>>
+    : std::true_type {};
+
+template <typename D, typename Src, typename Ext>
+struct Codec<triolet::core::Indexer<D, Src, Ext>> {
+  using Ix = triolet::core::Indexer<D, Src, Ext>;
+  static void write(ByteWriter& w, const Ix& ix) {
+    serial::write(w, ix.dom);
+    serial::write(w, ix.src);
+    serial::write(w, ix.ext);
+  }
+  static void read(ByteReader& r, Ix& ix) {
+    serial::read(r, ix.dom);
+    serial::read(r, ix.src);
+    serial::read(r, ix.ext);
+  }
+};
+
+}  // namespace triolet::serial

@@ -1,0 +1,336 @@
+#pragma once
+
+// Skeleton functions over hybrid iterators — the C++ rendering of the
+// paper's Figure 2. Each function is a set of overloads, one per iterator
+// constructor; the output constructor depends only on the input constructor,
+// so compositions of skeleton calls are resolved and fused statically.
+//
+// The key shape rules (verbatim from the paper):
+//   * zip of two flat indexers stays an indexer (parallelism preserved);
+//     anything else zips sequentially through steppers.
+//   * filter / concat_map on a flat indexer produce an *indexer of steppers*
+//     (IdxNest): they "add a level of loop nesting in order to preserve
+//     potential outer-loop parallelism", isolating irregularity in inner
+//     loops.
+//   * map preserves the constructor.
+
+#include "core/iter.hpp"
+
+namespace triolet::core {
+
+inline ParHint merge_hints(ParHint a, ParHint b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+// -- iterator constructors ------------------------------------------------------
+
+/// Consecutive integers [lo, hi) as a parallelizable indexer.
+inline auto range(index_t lo, index_t hi) {
+  return idx_flat(Seq{lo, hi}, Unit{}, IdentityExt{});
+}
+
+/// All indices of a domain in canonical order (Fig. 6's indices(domain(r))
+/// and §3.3's arrayRange).
+template <typename D>
+auto indices(D dom) {
+  return idx_flat(dom, Unit{}, IdentityExt{});
+}
+
+/// 2D index box [y0, y1) x [x0, x1) (paper §3.3, arrayRange).
+inline auto array_range(index_t y1, index_t x1) {
+  return indices(Dim2{0, y1, 0, x1});
+}
+
+/// Traversal of a 1D array. The array is held (by value) as the iterator's
+/// data source and is sliced, not copied elementwise, on partitioning.
+template <typename T>
+auto from_array(Array1<T> xs) {
+  Seq dom{xs.lo(), xs.hi()};
+  return idx_flat(dom, std::move(xs), Array1Ext{});
+}
+
+/// Reinterprets a 2D array as a 1D iterator over its rows; each element is a
+/// borrowed span of one row (paper §2, rows()).
+template <typename T>
+auto rows(Array2<T> a) {
+  Seq dom{a.row_lo(), a.row_hi()};
+  return idx_flat(dom, std::move(a), RowsExt{});
+}
+
+/// 2D outer product of two 1D indexed iterators: element (y, x) is the pair
+/// (a[y], b[x]). Slicing a Dim2 block extracts exactly the rows of `a` and
+/// `b` that the block touches (paper §2, outerproduct).
+template <typename DA, typename SA, typename EA, typename DB, typename SB,
+          typename EB>
+auto outerproduct(const IdxFlatIter<DA, SA, EA>& a,
+                  const IdxFlatIter<DB, SB, EB>& b) {
+  static_assert(std::is_same_v<DA, Seq> && std::is_same_v<DB, Seq>,
+                "outerproduct pairs two 1D task sets");
+  Dim2 dom{a.ix.dom.lo, a.ix.dom.hi, b.ix.dom.lo, b.ix.dom.hi};
+  return idx_flat(dom, OuterSource<SA, SB>{a.ix.src, b.ix.src},
+                  OuterExt<EA, EB>{a.ix.ext.fn(), b.ix.ext.fn()},
+                  merge_hints(a.hint, b.hint));
+}
+
+// -- map ---------------------------------------------------------------------------
+
+template <typename G>
+struct MapInnerFn {  // pushes map through one level of nesting
+  G g;
+  template <typename InnerIt>
+  auto operator()(const InnerIt& it) const;
+};
+
+template <typename D, typename Src, typename Ext, typename G>
+auto map(const IdxFlatIter<D, Src, Ext>& it, G g) {
+  return idx_flat(it.ix.dom, it.ix.src, MapExt<Ext, G>{it.ix.ext.fn(), g},
+                  it.hint);
+}
+
+template <typename SF, typename G>
+auto map(const StepFlatIter<SF>& it, G g) {
+  return step_flat(map_step(it.sf, g), it.hint);
+}
+
+template <typename D, typename Src, typename Ext, typename G>
+auto map(const IdxNestIter<D, Src, Ext>& it, G g) {
+  return idx_nest(it.ix.dom, it.ix.src,
+                  MapExt<Ext, MapInnerFn<G>>{it.ix.ext.fn(), MapInnerFn<G>{g}},
+                  it.hint);
+}
+
+template <typename SF, typename G>
+auto map(const StepNestIter<SF>& it, G g) {
+  return step_nest(map_step(it.sf, MapInnerFn<G>{g}), it.hint);
+}
+
+template <typename G>
+template <typename InnerIt>
+auto MapInnerFn<G>::operator()(const InnerIt& it) const {
+  return map(it, g);
+}
+
+/// Extractor for map_with: pairs the sliced base source with a context
+/// holder (Bcast ships the value whole; serial::GlobalRef ships a segment
+/// id) and applies f(ctx, element).
+template <typename Ext, typename F>
+struct CtxExt {
+  Ext base;
+  F f;
+  template <typename Src, typename Holder, typename I>
+  auto operator()(const std::pair<Src, Holder>& s, I i) const {
+    return f(ctx_get(s.second), base(s.first, i));
+  }
+};
+
+/// Like map, but `f` additionally receives `ctx`, a value shipped whole to
+/// every node (the analogue of capturing a large object in a Triolet
+/// closure). Use this when each task needs *all* of some auxiliary data —
+/// e.g. every mri-q pixel sums over the full k-space sample set.
+template <typename D, typename Src, typename Ext, typename C, typename F>
+auto map_with(const IdxFlatIter<D, Src, Ext>& it, C ctx, F f) {
+  return idx_flat(it.ix.dom, std::pair(it.ix.src, Bcast<C>{std::move(ctx)}),
+                  CtxExt<Ext, F>{it.ix.ext.fn(), f}, it.hint);
+}
+
+/// map_with over *published* global data: the context crosses the wire as a
+/// segment identifier instead of a payload (§3.4). Use for large immutable
+/// data every node already holds.
+template <typename D, typename Src, typename Ext, typename C, typename F>
+auto map_with(const IdxFlatIter<D, Src, Ext>& it, serial::GlobalRef<C> ctx,
+              F f) {
+  return idx_flat(it.ix.dom, std::pair(it.ix.src, std::move(ctx)),
+                  CtxExt<Ext, F>{it.ix.ext.fn(), f}, it.hint);
+}
+
+/// concat_map with broadcast context: `f(ctx, element)` returns the inner
+/// iterator for that element. Inner iterators may capture references into
+/// `ctx`: they are built and consumed during traversal on whichever node
+/// holds the (shipped) context, so the references never cross the wire.
+template <typename D, typename Src, typename Ext, typename C, typename F>
+auto concat_map_with(const IdxFlatIter<D, Src, Ext>& it, C ctx, F f) {
+  return idx_nest(it.ix.dom, std::pair(it.ix.src, Bcast<C>{std::move(ctx)}),
+                  CtxExt<Ext, F>{it.ix.ext.fn(), f}, it.hint);
+}
+
+/// concat_map_with over published global data (segment-id context).
+template <typename D, typename Src, typename Ext, typename C, typename F>
+auto concat_map_with(const IdxFlatIter<D, Src, Ext>& it,
+                     serial::GlobalRef<C> ctx, F f) {
+  return idx_nest(it.ix.dom, std::pair(it.ix.src, std::move(ctx)),
+                  CtxExt<Ext, F>{it.ix.ext.fn(), f}, it.hint);
+}
+
+// -- zip ----------------------------------------------------------------------------
+
+/// Both flat indexers: zip stays an indexer over the domain intersection,
+/// preserving parallelism and partitionability.
+template <typename DA, typename SA, typename EA, typename DB, typename SB,
+          typename EB>
+auto zip(const IdxFlatIter<DA, SA, EA>& a, const IdxFlatIter<DB, SB, EB>& b) {
+  static_assert(std::is_same_v<DA, DB>,
+                "zip requires both sides to have the same domain type");
+  DA dom = intersect(a.ix.dom, b.ix.dom);
+  return idx_flat(dom, std::pair(a.ix.src, b.ix.src),
+                  ZipExt<EA, EB>{a.ix.ext.fn(), b.ix.ext.fn()},
+                  merge_hints(a.hint, b.hint));
+}
+
+/// Any other combination involves variable-length outputs and is zipped
+/// sequentially through steppers (paper Figure 2, second zip equation).
+template <typename ItA, typename ItB,
+          typename = std::enable_if_t<is_iter_v<ItA> && is_iter_v<ItB> &&
+                                      !(ItA::kKind == IterKind::kIdxFlat &&
+                                        ItB::kKind == IterKind::kIdxFlat)>>
+auto zip(const ItA& a, const ItB& b) {
+  return step_flat(zip_step(to_step(a), to_step(b)),
+                   merge_hints(a.hint, b.hint));
+}
+
+/// Three-way zip of flat indexers (mri-q's zip3(x, y, z)).
+template <typename D, typename SA, typename EA, typename SB, typename EB,
+          typename SC, typename EC>
+auto zip3(const IdxFlatIter<D, SA, EA>& a, const IdxFlatIter<D, SB, EB>& b,
+          const IdxFlatIter<D, SC, EC>& c) {
+  D dom = intersect(intersect(a.ix.dom, b.ix.dom), c.ix.dom);
+  return idx_flat(dom, Zip3Source<SA, SB, SC>{a.ix.src, b.ix.src, c.ix.src},
+                  Zip3Ext<EA, EB, EC>{a.ix.ext.fn(), b.ix.ext.fn(),
+                                      c.ix.ext.fn()},
+                  merge_hints(merge_hints(a.hint, b.hint), c.hint));
+}
+
+/// zip_with (the Domain-class operation of paper §3.3): visits all points in
+/// the intersection of two iterators' domains, combining elements with `f`.
+template <typename ItA, typename ItB, typename F>
+auto zip_with(const ItA& a, const ItB& b, F f) {
+  return map(zip(a, b), [f](const auto& p) { return f(p.first, p.second); });
+}
+
+/// Helper functor: pairs an index with the element an extractor produces.
+template <typename Ext>
+struct IndexedExt {
+  Ext base;
+  template <typename Src, typename I>
+  auto operator()(const Src& s, I i) const {
+    return std::pair(i, base(s, i));
+  }
+};
+
+/// Pairs every element of a flat indexer with its index: the
+/// `zip(indices(domain(rand)), rand)` idiom of Figure 6 as one call.
+template <typename D, typename Src, typename Ext>
+auto indexed(const IdxFlatIter<D, Src, Ext>& it) {
+  return idx_flat(it.ix.dom, it.ix.src, IndexedExt<Ext>{it.ix.ext.fn()},
+                  it.hint);
+}
+
+struct IdentityFn {
+  template <typename T>
+  T operator()(T v) const {
+    return v;
+  }
+};
+
+/// Flattens an iterator whose elements are themselves iterators
+/// (concat_map with the identity).
+template <typename It>
+auto flatten(const It& it) {
+  return concat_map(it, IdentityFn{});
+}
+
+// -- filter -------------------------------------------------------------------------
+
+/// Extractor for filter-on-indexer: element i becomes a 0-or-1-element inner
+/// stepper, so the outer loop keeps its index structure ("our implementation
+/// of filter does not reassign indices", §3.2).
+template <typename Ext, typename P>
+struct FilterUnitExt {
+  Ext base;
+  P p;
+  template <typename Src, typename I>
+  auto operator()(const Src& s, I i) const {
+    auto v = base(s, i);
+    return step_flat(filter_step(unit_step(std::move(v)), p));
+  }
+};
+
+template <typename P>
+struct FilterInnerFn {  // pushes filter through one level of nesting
+  P p;
+  template <typename InnerIt>
+  auto operator()(const InnerIt& it) const;
+};
+
+template <typename D, typename Src, typename Ext, typename P>
+auto filter(const IdxFlatIter<D, Src, Ext>& it, P p) {
+  return idx_nest(it.ix.dom, it.ix.src,
+                  FilterUnitExt<Ext, P>{it.ix.ext.fn(), p}, it.hint);
+}
+
+template <typename SF, typename P>
+auto filter(const StepFlatIter<SF>& it, P p) {
+  return step_flat(filter_step(it.sf, p), it.hint);
+}
+
+template <typename D, typename Src, typename Ext, typename P>
+auto filter(const IdxNestIter<D, Src, Ext>& it, P p) {
+  return idx_nest(
+      it.ix.dom, it.ix.src,
+      MapExt<Ext, FilterInnerFn<P>>{it.ix.ext.fn(), FilterInnerFn<P>{p}},
+      it.hint);
+}
+
+template <typename SF, typename P>
+auto filter(const StepNestIter<SF>& it, P p) {
+  return step_nest(map_step(it.sf, FilterInnerFn<P>{p}), it.hint);
+}
+
+template <typename P>
+template <typename InnerIt>
+auto FilterInnerFn<P>::operator()(const InnerIt& it) const {
+  return filter(it, p);
+}
+
+// -- concat_map ----------------------------------------------------------------------
+
+template <typename G>
+struct ConcatInnerFn {  // pushes concat_map through one level of nesting
+  G g;
+  template <typename InnerIt>
+  auto operator()(const InnerIt& it) const;
+};
+
+/// `g` maps each element to an iterator; results are concatenated.
+/// On a flat indexer this adds exactly one nesting level, keeping the outer
+/// loop parallelizable (the irregular part runs in the inner loop).
+template <typename D, typename Src, typename Ext, typename G>
+auto concat_map(const IdxFlatIter<D, Src, Ext>& it, G g) {
+  return idx_nest(it.ix.dom, it.ix.src, MapExt<Ext, G>{it.ix.ext.fn(), g},
+                  it.hint);
+}
+
+template <typename SF, typename G>
+auto concat_map(const StepFlatIter<SF>& it, G g) {
+  return step_nest(map_step(it.sf, g), it.hint);
+}
+
+template <typename D, typename Src, typename Ext, typename G>
+auto concat_map(const IdxNestIter<D, Src, Ext>& it, G g) {
+  return idx_nest(
+      it.ix.dom, it.ix.src,
+      MapExt<Ext, ConcatInnerFn<G>>{it.ix.ext.fn(), ConcatInnerFn<G>{g}},
+      it.hint);
+}
+
+template <typename SF, typename G>
+auto concat_map(const StepNestIter<SF>& it, G g) {
+  return step_nest(map_step(it.sf, ConcatInnerFn<G>{g}), it.hint);
+}
+
+template <typename G>
+template <typename InnerIt>
+auto ConcatInnerFn<G>::operator()(const InnerIt& it) const {
+  return concat_map(it, g);
+}
+
+}  // namespace triolet::core

@@ -1,0 +1,187 @@
+#pragma once
+
+// Sliceable data sources (paper §3.5, "Array partitioning").
+//
+// An indexer is reorganized into a (potentially large) *data source* and a
+// cheap *extractor* taking the source as an extra parameter:
+//     lookup(i)  ==  ext(src, i)
+// The extractor is cheap to ship (no bulk data inside); the source knows how
+// to extract the subset a sub-domain needs via `slice_source`. When a
+// distributed loop partitions work across nodes, it slices the source and
+// sends each node only the data its chunk of the domain uses.
+//
+// Because arrays keep global base offsets (array/array.hpp) and domains keep
+// absolute bounds (core/domains.hpp), a sliced source works with the
+// *unchanged* extractor: no inner-loop remapping, no copying at use sites.
+//
+// `slice_source(src, old_dom, new_dom)` is the customization point; sources
+// compose (pairs slice both halves over the same range; an OuterSource
+// slices its row sets by the two axes of a Dim2 block).
+
+#include <span>
+#include <utility>
+
+#include "array/array.hpp"
+#include "core/domains.hpp"
+#include "serial/global.hpp"
+
+namespace triolet::core {
+
+/// Source for generated (data-free) indexers such as `range`.
+struct Unit {
+  bool operator==(const Unit&) const = default;
+};
+
+inline Unit slice_source(const Unit&, Seq, Seq) { return {}; }
+inline Unit slice_source(const Unit&, Dim2, Dim2) { return {}; }
+inline Unit slice_source(const Unit&, Dim3, Dim3) { return {}; }
+
+/// Array1 sources slice to the element range of the sub-domain.
+template <typename T>
+Array1<T> slice_source(const Array1<T>& a, Seq, Seq sub) {
+  return a.slice(sub.lo, sub.hi);
+}
+
+/// Array2 used as a rows-source (one task per row) slices to a row range.
+template <typename T>
+Array2<T> slice_source(const Array2<T>& a, Seq, Seq sub) {
+  return a.slice_rows(sub.lo, sub.hi);
+}
+
+/// Zipped sources slice both halves over the same range (paper: "data
+/// sources may involve multiple arrays, such as in the result of a call to
+/// zip, without requiring a step of data copying and reorganization").
+template <typename SA, typename SB, typename D>
+std::pair<SA, SB> slice_source(const std::pair<SA, SB>& s, D old_dom,
+                               D new_dom) {
+  return {slice_source(s.first, old_dom, new_dom),
+          slice_source(s.second, old_dom, new_dom)};
+}
+
+template <typename SA, typename SB, typename SC>
+struct Zip3Source {
+  SA a;
+  SB b;
+  SC c;
+  bool operator==(const Zip3Source&) const = default;
+};
+
+template <typename SA, typename SB, typename SC, typename D>
+Zip3Source<SA, SB, SC> slice_source(const Zip3Source<SA, SB, SC>& s, D old_dom,
+                                    D new_dom) {
+  return {slice_source(s.a, old_dom, new_dom),
+          slice_source(s.b, old_dom, new_dom),
+          slice_source(s.c, old_dom, new_dom)};
+}
+
+/// Broadcast source: auxiliary data every task needs in full (mri-q's
+/// k-space sample array, cutcp's grid parameters). Slicing is the identity —
+/// the whole value travels with every chunk, exactly like an object captured
+/// by a Triolet closure ("serializing an object transitively serializes all
+/// objects that it references", §3.4).
+template <typename T>
+struct Bcast {
+  T value;
+  bool operator==(const Bcast&) const = default;
+};
+
+template <typename T, typename D>
+Bcast<T> slice_source(const Bcast<T>& b, D, D) {
+  return b;
+}
+
+/// Published global data used as a source/context: slicing is the identity
+/// and serialization is the O(1) segment identifier (paper §3.4: "pointers
+/// to global data are serialized as a segment identifier and offset").
+template <typename T, typename D>
+serial::GlobalRef<T> slice_source(const serial::GlobalRef<T>& g, D, D) {
+  return g;
+}
+
+/// Uniform access to broadcast-style context holders (used by CtxExt).
+template <typename T>
+const T& ctx_get(const Bcast<T>& b) {
+  return b.value;
+}
+template <typename T>
+const T& ctx_get(const serial::GlobalRef<T>& g) {
+  return g.get();
+}
+
+/// Source of a 2D outer product of two 1D task sets. A Dim2 block's
+/// vertical extent selects rows of `a`, its horizontal extent rows of `b` —
+/// each block is sent only the rows meeting at that block (the two-line
+/// sgemm decomposition of paper §2).
+template <typename SA, typename SB>
+struct OuterSource {
+  SA a;
+  SB b;
+  bool operator==(const OuterSource&) const = default;
+};
+
+template <typename SA, typename SB>
+OuterSource<SA, SB> slice_source(const OuterSource<SA, SB>& s, Dim2 old_dom,
+                                 Dim2 new_dom) {
+  return {slice_source(s.a, Seq{old_dom.y0, old_dom.y1},
+                        Seq{new_dom.y0, new_dom.y1}),
+          slice_source(s.b, Seq{old_dom.x0, old_dom.x1},
+                        Seq{new_dom.x0, new_dom.x1})};
+}
+
+}  // namespace triolet::core
+
+namespace triolet::serial {
+
+template <>
+struct Codec<triolet::core::Unit> {
+  static void write(ByteWriter&, const triolet::core::Unit&) {}
+  static void read(ByteReader&, triolet::core::Unit&) {}
+};
+
+template <typename T>
+struct use_custom_codec<triolet::core::Bcast<T>> : std::true_type {};
+
+template <typename T>
+struct Codec<triolet::core::Bcast<T>> {
+  static void write(ByteWriter& w, const triolet::core::Bcast<T>& b) {
+    serial::write(w, b.value);
+  }
+  static void read(ByteReader& r, triolet::core::Bcast<T>& b) {
+    serial::read(r, b.value);
+  }
+};
+
+template <typename SA, typename SB, typename SC>
+struct use_custom_codec<triolet::core::Zip3Source<SA, SB, SC>>
+    : std::true_type {};
+template <typename SA, typename SB>
+struct use_custom_codec<triolet::core::OuterSource<SA, SB>> : std::true_type {};
+
+template <typename SA, typename SB, typename SC>
+struct Codec<triolet::core::Zip3Source<SA, SB, SC>> {
+  static void write(ByteWriter& w,
+                    const triolet::core::Zip3Source<SA, SB, SC>& s) {
+    serial::write(w, s.a);
+    serial::write(w, s.b);
+    serial::write(w, s.c);
+  }
+  static void read(ByteReader& r, triolet::core::Zip3Source<SA, SB, SC>& s) {
+    serial::read(r, s.a);
+    serial::read(r, s.b);
+    serial::read(r, s.c);
+  }
+};
+
+template <typename SA, typename SB>
+struct Codec<triolet::core::OuterSource<SA, SB>> {
+  static void write(ByteWriter& w, const triolet::core::OuterSource<SA, SB>& s) {
+    serial::write(w, s.a);
+    serial::write(w, s.b);
+  }
+  static void read(ByteReader& r, triolet::core::OuterSource<SA, SB>& s) {
+    serial::read(r, s.a);
+    serial::read(r, s.b);
+  }
+};
+
+}  // namespace triolet::serial

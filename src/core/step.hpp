@@ -1,0 +1,271 @@
+#pragma once
+
+// The stepper encoding (paper §3.1 "Steppers").
+//
+// A stepper is a suspended loop: each call to `next(sink)` either delivers
+// exactly one element to `sink` and returns true, or returns false when the
+// loop has finished. Steppers are inherently sequential (only the "next"
+// element is reachable) but they fuse: every combinator below wraps the base
+// stepper's `next` in more inlineable code, which the optimizer collapses
+// into a single loop — the C++ rendering of stream fusion.
+//
+// A *stepper factory* (`make()` returns a fresh stepper) is what iterators
+// store, so an iterator can be traversed more than once and inner loops of a
+// nest can be restarted per outer element.
+//
+// The push-style `next(sink)` interface (rather than `optional<T> next()`)
+// avoids requiring element types to be default-constructible and gives the
+// compiler a straight-line path from producer to consumer.
+
+#include <optional>
+#include <utility>
+
+#include "core/domains.hpp"
+
+namespace triolet::core {
+
+// -- factory trait ------------------------------------------------------------
+
+template <typename SF>
+using StepValue = typename SF::value_type;
+
+/// Runs a stepper to exhaustion, applying `f` to every element.
+template <typename Stepper, typename F>
+void drain(Stepper& s, F&& f) {
+  while (s.next(f)) {
+  }
+}
+
+// -- primitive factories ------------------------------------------------------
+
+/// Zero elements.
+template <typename T>
+struct EmptyStepF {
+  using value_type = T;
+  struct Stepper {
+    template <typename Sink>
+    bool next(Sink&&) {
+      return false;
+    }
+  };
+  Stepper make() const { return {}; }
+};
+
+/// Exactly one element (paper: unitStep, used by filter's inner loops).
+template <typename T>
+struct UnitStepF {
+  using value_type = T;
+  T value;
+
+  struct Stepper {
+    T value;
+    bool done = false;
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      if (done) return false;
+      done = true;
+      sink(value);
+      return true;
+    }
+  };
+  Stepper make() const { return Stepper{value, false}; }
+};
+
+/// Consecutive integers [lo, hi).
+struct RangeStepF {
+  using value_type = index_t;
+  index_t lo = 0;
+  index_t hi = 0;
+
+  struct Stepper {
+    index_t cur;
+    index_t end;
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      if (cur >= end) return false;
+      sink(cur++);
+      return true;
+    }
+  };
+  Stepper make() const { return Stepper{lo, hi}; }
+};
+
+/// Steps over a domain in canonical order, applying a lookup function:
+/// the idxToStep conversion (paper Figure 1 "Conversions").
+template <typename D, typename Fn>
+struct FromIdxStepF {
+  using value_type = decltype(std::declval<const Fn&>()(
+      std::declval<IndexOf<D>>()));
+  D dom;
+  Fn at;
+
+  // Domains iterate themselves; the stepper walks the canonical order by
+  // materializing it lazily through ordinals.
+  // Steppers own copies of the domain and lookup so they stay valid even
+  // when the factory that made them was a temporary (e.g. inside a
+  // concat_map inner loop).
+  struct Stepper {
+    D dom;
+    Fn at;
+    index_t ord;
+    index_t end;
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      if (ord >= end) return false;
+      sink(at(index_at(dom, ord)));
+      ++ord;
+      return true;
+    }
+  };
+  Stepper make() const { return Stepper{dom, at, 0, dom.size()}; }
+
+  static index_t index_at(Seq d, index_t ord) { return d.lo + ord; }
+  static Index2 index_at(Dim2 d, index_t ord) {
+    return Index2{d.y0 + ord / d.cols(), d.x0 + ord % d.cols()};
+  }
+  static Index3 index_at(Dim3 d, index_t ord) {
+    index_t nx = d.x1 - d.x0;
+    index_t ny = d.y1 - d.y0;
+    return Index3{d.z0 + ord / (ny * nx), d.y0 + (ord / nx) % ny,
+                  d.x0 + ord % nx};
+  }
+};
+
+// -- combinators ----------------------------------------------------------------
+
+/// Applies `g` to each element (mapStep).
+template <typename SF, typename G>
+struct MapStepF {
+  using value_type =
+      decltype(std::declval<const G&>()(std::declval<StepValue<SF>>()));
+  SF base;
+  G g;
+
+  struct Stepper {
+    decltype(std::declval<const SF&>().make()) inner;
+    G g;  // owned copy: factories may be temporaries
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      return inner.next([&](auto&& v) {
+        sink(g(std::forward<decltype(v)>(v)));
+      });
+    }
+  };
+  Stepper make() const { return Stepper{base.make(), g}; }
+};
+
+/// Keeps elements satisfying `p` (filterStep).
+template <typename SF, typename P>
+struct FilterStepF {
+  using value_type = StepValue<SF>;
+  SF base;
+  P p;
+
+  struct Stepper {
+    decltype(std::declval<const SF&>().make()) inner;
+    P p;  // owned copy: factories may be temporaries
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      for (;;) {
+        bool delivered = false;
+        bool produced = inner.next([&](auto&& v) {
+          if (p(v)) {
+            delivered = true;
+            sink(std::forward<decltype(v)>(v));
+          }
+        });
+        if (!produced) return false;   // base exhausted
+        if (delivered) return true;    // element passed the filter
+        // otherwise the element was rejected; pull again
+      }
+    }
+  };
+  Stepper make() const { return Stepper{base.make(), p}; }
+};
+
+/// Pairs corresponding elements; stops at the shorter input (zipStep).
+template <typename SFA, typename SFB>
+struct ZipStepF {
+  using value_type = std::pair<StepValue<SFA>, StepValue<SFB>>;
+  SFA a;
+  SFB b;
+
+  struct Stepper {
+    decltype(std::declval<const SFA&>().make()) sa;
+    decltype(std::declval<const SFB&>().make()) sb;
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      std::optional<StepValue<SFA>> va;
+      std::optional<StepValue<SFB>> vb;
+      if (!sa.next([&](auto&& v) { va.emplace(std::forward<decltype(v)>(v)); }))
+        return false;
+      if (!sb.next([&](auto&& v) { vb.emplace(std::forward<decltype(v)>(v)); }))
+        return false;
+      sink(value_type{std::move(*va), std::move(*vb)});
+      return true;
+    }
+  };
+  Stepper make() const { return Stepper{a.make(), b.make()}; }
+};
+
+/// Flattens: `g` maps each base element to a stepper *factory* whose
+/// elements are emitted in order (concatMapStep). This is the engine behind
+/// nested traversals when the outer loop is itself irregular.
+template <typename SF, typename G>
+struct ConcatMapStepF {
+  using InnerF = decltype(std::declval<const G&>()(
+      std::declval<StepValue<SF>>()));
+  using value_type = StepValue<InnerF>;
+  SF base;
+  G g;
+
+  struct Stepper {
+    decltype(std::declval<const SF&>().make()) outer;
+    G g;  // owned copy: factories may be temporaries
+    std::optional<decltype(std::declval<const InnerF&>().make())> inner;
+
+    template <typename Sink>
+    bool next(Sink&& sink) {
+      for (;;) {
+        if (inner) {
+          if (inner->next(sink)) return true;
+          inner.reset();
+        }
+        bool advanced = outer.next([&](auto&& v) {
+          inner.emplace(g(std::forward<decltype(v)>(v)).make());
+        });
+        if (!advanced) return false;
+      }
+    }
+  };
+  Stepper make() const { return Stepper{base.make(), g, std::nullopt}; }
+};
+
+// -- deduction helpers ----------------------------------------------------------
+
+template <typename T>
+UnitStepF<std::decay_t<T>> unit_step(T&& v) {
+  return {std::forward<T>(v)};
+}
+
+template <typename SF, typename G>
+MapStepF<SF, G> map_step(SF base, G g) {
+  return {std::move(base), std::move(g)};
+}
+
+template <typename SF, typename P>
+FilterStepF<SF, P> filter_step(SF base, P p) {
+  return {std::move(base), std::move(p)};
+}
+
+template <typename SFA, typename SFB>
+ZipStepF<SFA, SFB> zip_step(SFA a, SFB b) {
+  return {std::move(a), std::move(b)};
+}
+
+template <typename SF, typename G>
+ConcatMapStepF<SF, G> concat_map_step(SF base, G g) {
+  return {std::move(base), std::move(g)};
+}
+
+}  // namespace triolet::core

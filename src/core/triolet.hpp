@@ -1,0 +1,29 @@
+#pragma once
+
+// Umbrella header: the Triolet skeleton library public API.
+//
+// Typical use mirrors the paper's examples:
+//
+//   // dot product (paper §2)
+//   auto xs = core::from_array(x);
+//   auto ys = core::from_array(y);
+//   double d = core::sum(core::map(core::par(core::zip(xs, ys)),
+//                                  [](auto p) { return p.first * p.second; }));
+//
+//   // sum of positives (paper §3.2)
+//   auto pos = core::filter(core::from_array(v), [](float x) { return x > 0; });
+//   float s = core::sum(core::localpar(pos));
+//
+// Distributed (two-level) execution of `par` iterators lives in
+// dist/skeletons.hpp and runs under a net::Cluster.
+
+#include "core/consume.hpp"
+#include "core/domains.hpp"
+#include "core/encodings.hpp"
+#include "core/fold.hpp"
+#include "core/hints.hpp"
+#include "core/indexer.hpp"
+#include "core/iter.hpp"
+#include "core/skeletons.hpp"
+#include "core/sources.hpp"
+#include "core/step.hpp"

@@ -1,0 +1,260 @@
+#pragma once
+
+// Two-level distributed skeletons (paper §2, §3.4, §3.5).
+//
+// These run SPMD under a net::Cluster with one rank per cluster node:
+//
+//   1. The root splits the iterator's domain into contiguous node chunks,
+//      slices the iterator per chunk — each slice's data source holds only
+//      the sub-arrays that chunk touches — serializes the sliced iterator
+//      (fused loop body + data) and sends it to the owning node.
+//   2. Every node re-hints its chunk to `localpar` and runs the threaded
+//      consumer from core/consume.hpp: work-stealing threads with private
+//      per-thread accumulators.
+//   3. Per-node partial results are combined at the root in rank order.
+//
+// Iterator construction happens only at the root: callers pass a `make`
+// callable invoked on rank 0, so non-root ranks never need the input data —
+// they receive their slice over the wire. (All ranks share the closure
+// *type*, which is how the same binary can deserialize the task; see
+// DESIGN.md on the closure-serialization substitution.)
+
+#include "core/consume.hpp"
+#include "core/skeletons.hpp"
+#include "net/comm.hpp"
+
+namespace triolet::dist {
+
+using core::index_t;
+
+inline constexpr int kTagTask = 100;
+inline constexpr int kTagBlock = 101;
+
+/// Per-node threaded runtime. Each SPMD rank constructs one of these at the
+/// top of its body: the rank gets a private work-stealing pool (its "cores")
+/// and a PoolScope that routes this thread's localpar consumers onto it.
+/// Keeping pools per node prevents one node's idle threads from executing
+/// another node's tasks, which both matches real cluster semantics and keeps
+/// per-thread private accumulators disjoint between nodes.
+struct NodeRuntime {
+  explicit NodeRuntime(int threads_per_node)
+      : pool(threads_per_node), scope(pool) {}
+
+  runtime::ThreadPool pool;
+  runtime::PoolScope scope;
+};
+
+namespace detail {
+
+/// Root slices + scatters; every rank returns its own localpar-hinted chunk.
+template <typename MakeIter>
+auto scatter_chunks(net::Comm& comm, MakeIter&& make) {
+  using It = decltype(make());
+  if (comm.rank() == 0) {
+    It it = make();
+    auto chunks = core::split_blocks(it.domain(), comm.size());
+    for (int r = 1; r < comm.size(); ++r) {
+      comm.send(r, kTagTask, it.slice(chunks[static_cast<std::size_t>(r)]));
+    }
+    return core::localpar(it.slice(chunks[0]));
+  }
+  return core::localpar(comm.recv<It>(0, kTagTask));
+}
+
+}  // namespace detail
+
+/// Distributed reduction. `init` must be an identity of `op`. Returns the
+/// result on rank 0; other ranks get a default-constructed T.
+template <typename MakeIter, typename T, typename Op>
+T reduce(net::Comm& comm, MakeIter&& make, T init, Op op) {
+  auto local = detail::scatter_chunks(comm, make);
+  T partial = core::reduce(local, std::move(init), op);
+  return comm.reduce(partial, op, 0);
+}
+
+/// Distributed sum (rank 0 gets the result).
+template <typename MakeIter>
+auto sum(net::Comm& comm, MakeIter&& make) {
+  using T = typename decltype(make())::value_type;
+  return reduce(comm, make, T{}, [](T a, const T& b) { return a + b; });
+}
+
+/// Distributed minimum (rank 0 gets the result; iterator must be non-empty
+/// on at least the root's own chunk for the fold seed to exist on every
+/// node — use reduce with an explicit bound for sparse cases).
+template <typename MakeIter>
+auto minimum(net::Comm& comm, MakeIter&& make) {
+  using T = typename decltype(make())::value_type;
+  auto local = detail::scatter_chunks(comm, make);
+  // Per-node minimum over a possibly-empty chunk: carry an optional.
+  std::optional<T> part;
+  core::visit(local, [&](const T& v) {
+    if (!part || v < *part) part = v;
+  });
+  auto combined = comm.reduce(
+      part,
+      [](std::optional<T> a, const std::optional<T>& b) {
+        if (!a) return b;
+        if (!b) return a;
+        return *b < *a ? b : a;
+      },
+      0);
+  if (comm.rank() != 0) return T{};
+  TRIOLET_CHECK(combined.has_value(), "minimum of an empty iterator");
+  return *combined;
+}
+
+/// Distributed maximum (rank 0 gets the result).
+template <typename MakeIter>
+auto maximum(net::Comm& comm, MakeIter&& make) {
+  using T = typename decltype(make())::value_type;
+  auto local = detail::scatter_chunks(comm, make);
+  std::optional<T> part;
+  core::visit(local, [&](const T& v) {
+    if (!part || *part < v) part = v;
+  });
+  auto combined = comm.reduce(
+      part,
+      [](std::optional<T> a, const std::optional<T>& b) {
+        if (!a) return b;
+        if (!b) return a;
+        return *a < *b ? b : a;
+      },
+      0);
+  if (comm.rank() != 0) return T{};
+  TRIOLET_CHECK(combined.has_value(), "maximum of an empty iterator");
+  return *combined;
+}
+
+/// Distributed arithmetic mean (rank 0 gets the result; 0.0 when empty).
+template <typename MakeIter>
+double average(net::Comm& comm, MakeIter&& make) {
+  auto local = detail::scatter_chunks(comm, make);
+  double acc = 0;
+  index_t n = 0;
+  core::visit(local, [&](const auto& v) {
+    acc += static_cast<double>(v);
+    ++n;
+  });
+  auto combined = comm.reduce(
+      std::pair<double, index_t>{acc, n},
+      [](std::pair<double, index_t> a, const std::pair<double, index_t>& b) {
+        return std::pair<double, index_t>{a.first + b.first,
+                                          a.second + b.second};
+      },
+      0);
+  if (comm.rank() != 0) return 0.0;
+  return combined.second == 0
+             ? 0.0
+             : combined.first / static_cast<double>(combined.second);
+}
+
+/// Distributed element count.
+template <typename MakeIter>
+index_t count(net::Comm& comm, MakeIter&& make) {
+  auto local = detail::scatter_chunks(comm, make);
+  index_t partial = core::count(local);
+  return comm.reduce(partial, [](index_t a, index_t b) { return a + b; }, 0);
+}
+
+/// Distributed integer histogram: one threaded histogram per node, partial
+/// histograms summed at the root ("a distributed reduction, which performs
+/// one threaded reduction per node, which sequentially builds one histogram
+/// per thread", §3.4).
+template <typename MakeIter>
+Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
+                               MakeIter&& make) {
+  auto local = detail::scatter_chunks(comm, make);
+  Array1<std::int64_t> partial = core::histogram(nbins, local);
+  return comm.reduce(partial, [](Array1<std::int64_t> a,
+                                 const Array1<std::int64_t>& b) {
+    for (index_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    return a;
+  }, 0);
+}
+
+/// Distributed floating-point histogram (cutcp's pattern). The output-grid
+/// summation at the root is the communication cost that dominates cutcp's
+/// scaling (paper §4.5).
+template <typename F, typename MakeIter>
+Array1<F> float_histogram(net::Comm& comm, index_t ncells, MakeIter&& make) {
+  auto local = detail::scatter_chunks(comm, make);
+  Array1<F> partial = core::float_histogram<F>(ncells, local);
+  return comm.reduce(partial, [](Array1<F> a, const Array1<F>& b) {
+    for (index_t i = 0; i < a.size(); ++i) a[i] += b[i];
+    return a;
+  }, 0);
+}
+
+/// Distributed materialization of a 1D indexer: node chunks are built with
+/// threads and gathered at the root, which reassembles the full array.
+template <typename MakeIter>
+auto build_array1(net::Comm& comm, MakeIter&& make) {
+  auto local = detail::scatter_chunks(comm, make);
+  using V = typename decltype(local)::value_type;
+  Array1<V> part = core::build_array1(local);
+  if (comm.rank() != 0) {
+    comm.send(0, kTagBlock, part);
+    return Array1<V>{};
+  }
+  // Rank 0 assembles: its own part plus one per peer, all base-offset tagged.
+  std::vector<Array1<V>> parts;
+  parts.push_back(std::move(part));
+  for (int r = 1; r < comm.size(); ++r) {
+    parts.push_back(comm.recv<Array1<V>>(r, kTagBlock));
+  }
+  index_t lo = parts.front().lo(), hi = parts.front().hi();
+  for (const auto& p : parts) {
+    lo = std::min(lo, p.lo());
+    hi = std::max(hi, p.hi());
+  }
+  Array1<V> out(lo, std::vector<V>(static_cast<std::size_t>(hi - lo)));
+  for (const auto& p : parts) {
+    for (index_t i = p.lo(); i < p.hi(); ++i) out[i] = p[i];
+  }
+  return out;
+}
+
+/// Distributed materialization of a 2D indexer via block decomposition:
+/// each node computes one rectangular block (threads fill it in place) and
+/// the root assembles the full matrix. With an outerproduct iterator this
+/// is the paper's 2D block-distributed sgemm.
+template <typename MakeIter>
+auto build_array2(net::Comm& comm, MakeIter&& make) {
+  // scatter_chunks dispatches on the domain type: a Dim2 domain splits into
+  // the near-square block grid of core::split_blocks(Dim2, nodes).
+  auto local = detail::scatter_chunks(comm, make);
+  using V = typename decltype(local)::value_type;
+  core::Block2<V> block = core::build_block2(local);
+  if (comm.rank() != 0) {
+    comm.send(0, kTagBlock, block);
+    return Array2<V>{};
+  }
+  std::vector<core::Block2<V>> blocks;
+  blocks.push_back(std::move(block));
+  for (int r = 1; r < comm.size(); ++r) {
+    blocks.push_back(comm.recv<core::Block2<V>>(r, kTagBlock));
+  }
+  core::Dim2 full{};
+  bool first = true;
+  for (const auto& b : blocks) {
+    if (first) {
+      full = b.dom;
+      first = false;
+    } else {
+      full.y0 = std::min(full.y0, b.dom.y0);
+      full.y1 = std::max(full.y1, b.dom.y1);
+      full.x0 = std::min(full.x0, b.dom.x0);
+      full.x1 = std::max(full.x1, b.dom.x1);
+    }
+  }
+  TRIOLET_CHECK(full.x0 == 0, "build_array2 needs a full-width 2D domain");
+  Array2<V> out(full.y0, full.rows(), full.cols(), std::vector<V>(
+      static_cast<std::size_t>(full.size())));
+  for (const auto& b : blocks) {
+    b.dom.for_each([&](core::Index2 i) { out(i.y, i.x) = b.at(i); });
+  }
+  return out;
+}
+
+}  // namespace triolet::dist

@@ -1,0 +1,123 @@
+#pragma once
+
+// Chunked arrays: the paper's optimized Eden data representation.
+//
+// "In Eden, we build arrays in chunked form, as lists of 1k-element vectors,
+// so that the runtime can distribute subarrays to processors while still
+// benefiting from efficient array traversal" (§4.2). A ChunkedArray is a
+// list of boxed fixed-size vectors: traversal within a chunk is tight, but
+// the chunk list itself is a pointer structure, every chunk is a separate
+// allocation, and partitioning happens at chunk granularity only.
+
+#include <memory>
+#include <vector>
+
+#include "serial/serialize.hpp"
+#include "support/macros.hpp"
+
+namespace triolet::eden {
+
+inline constexpr std::size_t kChunkSize = 1024;
+
+template <typename T>
+class ChunkedArray {
+ public:
+  ChunkedArray() = default;
+
+  static ChunkedArray from_vector(const std::vector<T>& v,
+                                  std::size_t chunk = kChunkSize) {
+    ChunkedArray out;
+    for (std::size_t i = 0; i < v.size(); i += chunk) {
+      std::size_t hi = std::min(v.size(), i + chunk);
+      out.chunks_.push_back(std::make_shared<std::vector<T>>(
+          v.begin() + static_cast<std::ptrdiff_t>(i),
+          v.begin() + static_cast<std::ptrdiff_t>(hi)));
+    }
+    return out;
+  }
+
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += c->size();
+    return n;
+  }
+
+  const std::vector<T>& chunk(std::size_t i) const {
+    TRIOLET_ASSERT(i < chunks_.size());
+    return *chunks_[i];
+  }
+
+  /// Contiguous sub-list of chunks (the distribution granule).
+  ChunkedArray chunk_range(std::size_t lo, std::size_t hi) const {
+    TRIOLET_CHECK(lo <= hi && hi <= chunks_.size(), "chunk range out of bounds");
+    ChunkedArray out;
+    out.chunks_.assign(chunks_.begin() + static_cast<std::ptrdiff_t>(lo),
+                       chunks_.begin() + static_cast<std::ptrdiff_t>(hi));
+    return out;
+  }
+
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for (const auto& c : chunks_) out.insert(out.end(), c->begin(), c->end());
+    return out;
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& c : chunks_) {
+      for (const T& v : *c) f(v);
+    }
+  }
+
+  template <typename A, typename F>
+  A foldl(F&& f, A acc) const {
+    for (const auto& c : chunks_) {
+      for (const T& v : *c) acc = f(std::move(acc), v);
+    }
+    return acc;
+  }
+
+  bool operator==(const ChunkedArray& o) const {
+    return to_vector() == o.to_vector();
+  }
+
+  // Serialization walks the chunk structure (no single block copy — each
+  // chunk is framed separately, mirroring Eden's per-object serialization).
+  std::vector<std::vector<T>> chunks_for_serialization() const {
+    std::vector<std::vector<T>> out;
+    out.reserve(chunks_.size());
+    for (const auto& c : chunks_) out.push_back(*c);
+    return out;
+  }
+  static ChunkedArray from_chunks(std::vector<std::vector<T>> chunks) {
+    ChunkedArray out;
+    for (auto& c : chunks) {
+      out.chunks_.push_back(std::make_shared<std::vector<T>>(std::move(c)));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::shared_ptr<std::vector<T>>> chunks_;
+};
+
+}  // namespace triolet::eden
+
+namespace triolet::serial {
+
+template <typename T>
+struct Codec<triolet::eden::ChunkedArray<T>> {
+  static void write(ByteWriter& w, const triolet::eden::ChunkedArray<T>& a) {
+    serial::write(w, a.chunks_for_serialization());
+  }
+  static void read(ByteReader& r, triolet::eden::ChunkedArray<T>& a) {
+    std::vector<std::vector<T>> chunks;
+    serial::read(r, chunks);
+    a = triolet::eden::ChunkedArray<T>::from_chunks(std::move(chunks));
+  }
+};
+
+}  // namespace triolet::serial

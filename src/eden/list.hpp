@@ -1,0 +1,222 @@
+#pragma once
+
+// Boxed cons lists: the Eden/Haskell data representation.
+//
+// The paper attributes the naive Eden port's order-of-magnitude sequential
+// slowdown "chiefly [to] the overhead of list manipulation" (§1). This
+// emulation reproduces that overhead by the same mechanism rather than by an
+// artificial fudge factor: every element is boxed (its own heap allocation)
+// and every cons cell is another allocation, traversed by pointer chasing —
+// what GHC does for [Float] without unboxing.
+//
+// Destruction is iterative, so releasing a million-element list does not
+// overflow the stack.
+
+#include <memory>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace triolet::eden {
+
+template <typename T>
+class List {
+ public:
+  List() = default;  // nil
+
+  static List nil() { return List(); }
+
+  static List cons(T head, List tail) {
+    auto node = std::make_shared<Node>();
+    node->head = std::make_shared<T>(std::move(head));  // boxed element
+    node->tail = std::move(tail.head_);
+    return List(std::move(node));
+  }
+
+  static List from_vector(const std::vector<T>& v) {
+    List out;
+    for (auto it = v.rbegin(); it != v.rend(); ++it) {
+      out = cons(*it, std::move(out));
+    }
+    return out;
+  }
+
+  ~List() { release(); }
+  List(const List&) = default;
+  List(List&&) noexcept = default;
+  List& operator=(const List& o) {
+    if (this != &o) {
+      release();
+      head_ = o.head_;
+    }
+    return *this;
+  }
+  List& operator=(List&& o) noexcept {
+    if (this != &o) {
+      release();
+      head_ = std::move(o.head_);
+    }
+    return *this;
+  }
+
+  bool empty() const { return head_ == nullptr; }
+
+  const T& head() const {
+    TRIOLET_ASSERT(head_ != nullptr);
+    return *head_->head;
+  }
+
+  List tail() const {
+    TRIOLET_ASSERT(head_ != nullptr);
+    return List(head_->tail);
+  }
+
+  std::size_t length() const {
+    std::size_t n = 0;
+    for (const Node* p = head_.get(); p != nullptr; p = p->tail.get()) ++n;
+    return n;
+  }
+
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    for (const Node* p = head_.get(); p != nullptr; p = p->tail.get()) {
+      out.push_back(*p->head);
+    }
+    return out;
+  }
+
+  /// Strict left fold in list order.
+  template <typename A, typename F>
+  A foldl(F&& f, A acc) const {
+    for (const Node* p = head_.get(); p != nullptr; p = p->tail.get()) {
+      acc = f(std::move(acc), *p->head);
+    }
+    return acc;
+  }
+
+  /// Applies `f` to every element (building the boxed result list).
+  template <typename F>
+  auto map(F&& f) const {
+    using U = decltype(f(std::declval<const T&>()));
+    std::vector<U> tmp;
+    for (const Node* p = head_.get(); p != nullptr; p = p->tail.get()) {
+      tmp.push_back(f(*p->head));
+    }
+    return List<U>::from_vector(tmp);
+  }
+
+  /// Keeps elements satisfying `pred` (boxed result list).
+  template <typename P>
+  List filter(P&& pred) const {
+    std::vector<T> tmp;
+    for (const Node* p = head_.get(); p != nullptr; p = p->tail.get()) {
+      if (pred(*p->head)) tmp.push_back(*p->head);
+    }
+    return from_vector(tmp);
+  }
+
+  /// Pairwise combination, stopping at the shorter list.
+  template <typename U, typename F>
+  auto zip_with(const List<U>& other, F&& f) const {
+    using R = decltype(f(std::declval<const T&>(), std::declval<const U&>()));
+    std::vector<R> tmp;
+    const Node* p = head_.get();
+    auto q = other.begin_node();
+    while (p != nullptr && q != nullptr) {
+      tmp.push_back(f(*p->head, q->boxed()));
+      p = p->tail.get();
+      q = q->next();
+    }
+    return List<R>::from_vector(tmp);
+  }
+
+  // Minimal node view for cross-type zip_with.
+  struct Node {
+    std::shared_ptr<T> head;
+    std::shared_ptr<Node> tail;
+    const T& boxed() const { return *head; }
+    const Node* next() const { return tail.get(); }
+  };
+  const Node* begin_node() const { return head_.get(); }
+
+ private:
+  explicit List(std::shared_ptr<Node> head) : head_(std::move(head)) {}
+
+  void release() {
+    // Unlink iteratively while we hold the only reference.
+    std::shared_ptr<Node> cur = std::move(head_);
+    while (cur && cur.use_count() == 1) {
+      std::shared_ptr<Node> next = std::move(cur->tail);
+      cur = std::move(next);
+    }
+  }
+
+  std::shared_ptr<Node> head_;
+};
+
+/// xs ++ ys (rebuilds the spine of xs; shares ys, as Haskell's ++ does).
+template <typename T>
+List<T> append(const List<T>& xs, List<T> ys) {
+  std::vector<T> front = xs.to_vector();
+  List<T> out = std::move(ys);
+  for (auto it = front.rbegin(); it != front.rend(); ++it) {
+    out = List<T>::cons(*it, std::move(out));
+  }
+  return out;
+}
+
+/// reverse.
+template <typename T>
+List<T> reverse(const List<T>& xs) {
+  List<T> out;
+  for (const auto* p = xs.begin_node(); p != nullptr; p = p->next()) {
+    out = List<T>::cons(p->boxed(), std::move(out));
+  }
+  return out;
+}
+
+/// take n.
+template <typename T>
+List<T> take(std::size_t n, const List<T>& xs) {
+  std::vector<T> front;
+  for (const auto* p = xs.begin_node(); p != nullptr && front.size() < n;
+       p = p->next()) {
+    front.push_back(p->boxed());
+  }
+  return List<T>::from_vector(front);
+}
+
+/// drop n (shares the remaining spine — O(n), no copying).
+template <typename T>
+List<T> drop(std::size_t n, List<T> xs) {
+  while (n-- > 0 && !xs.empty()) xs = xs.tail();
+  return xs;
+}
+
+/// concat: flattens a list of lists.
+template <typename T>
+List<T> concat(const List<List<T>>& xss) {
+  std::vector<T> all;
+  for (const auto* p = xss.begin_node(); p != nullptr; p = p->next()) {
+    for (const auto* q = p->boxed().begin_node(); q != nullptr; q = q->next()) {
+      all.push_back(q->boxed());
+    }
+  }
+  return List<T>::from_vector(all);
+}
+
+/// replicate n x.
+template <typename T>
+List<T> replicate(std::size_t n, const T& x) {
+  List<T> out;
+  for (std::size_t i = 0; i < n; ++i) out = List<T>::cons(x, std::move(out));
+  return out;
+}
+
+/// Sum of a numeric list (common consumer in the Eden benchmark ports).
+template <typename T>
+T list_sum(const List<T>& xs) {
+  return xs.foldl([](T a, const T& b) { return a + b; }, T{});
+}
+
+}  // namespace triolet::eden

@@ -1,0 +1,26 @@
+#include "eden/slowmath.hpp"
+
+#include <cmath>
+
+#include "support/macros.hpp"
+
+namespace triolet::eden {
+
+// The generic double-precision libm path with conversions on both sides and
+// an out-of-line call: what a backend emits when it cannot select the
+// float-specialized entry point (GHC's miss on sinf/cosf, paper §4.2).
+
+TRIOLET_NOINLINE float eden_sinf(float x) {
+  return static_cast<float>(std::sin(static_cast<double>(x)));
+}
+
+TRIOLET_NOINLINE float eden_cosf(float x) {
+  return static_cast<float>(std::cos(static_cast<double>(x)));
+}
+
+TRIOLET_NOINLINE double eden_acos(double x) {
+  // acos through an extra out-of-line indirection (no specialization).
+  return std::acos(x);
+}
+
+}  // namespace triolet::eden

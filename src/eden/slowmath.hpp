@@ -1,0 +1,22 @@
+#pragma once
+
+// Trigonometry the way the Eden backend compiles it.
+//
+// "Eden's backend misses a floating-point optimization on sinf and cosf
+// calls, resulting in about 50% longer run time on a single thread" (§4.2,
+// mri-q). GHC's missed optimization makes single-precision trig go through
+// the generic double-precision libm entry points with conversions on both
+// sides and no call-site specialization. These wrappers reproduce exactly
+// that: out-of-line calls into the double (and for sincos pairs, extended
+// precision) path. The eden:: benchmark variants call these; the Triolet
+// and C variants use sinf/cosf directly.
+
+namespace triolet::eden {
+
+float eden_sinf(float x);
+float eden_cosf(float x);
+
+/// acos through the same deoptimized path (used by tpacf).
+double eden_acos(double x);
+
+}  // namespace triolet::eden

@@ -1,0 +1,59 @@
+#include "net/cluster.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace triolet::net {
+
+ClusterResult Cluster::run(int nranks, const std::function<void(Comm&)>& body,
+                           const ClusterOptions& options) {
+  ClusterState state(nranks, options.max_message_bytes);
+
+  std::mutex result_mu;
+  ClusterResult result;
+
+  auto rank_main = [&](int rank) {
+    Comm comm(rank, &state);
+    try {
+      body(comm);
+    } catch (const ClusterAborted&) {
+      // Secondary failure: this rank was blocked when a peer died.
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(result_mu);
+        if (result.ok) {
+          result.ok = false;
+          result.error = e.what();
+        }
+      }
+      state.abort_all();
+    }
+    std::lock_guard<std::mutex> lock(result_mu);
+    result.total_stats.messages_sent += comm.stats().messages_sent;
+    result.total_stats.bytes_sent += comm.stats().bytes_sent;
+    result.total_stats.messages_received += comm.stats().messages_received;
+    result.total_stats.bytes_received += comm.stats().bytes_received;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back(rank_main, r);
+  }
+  for (auto& t : threads) t.join();
+  return result;
+}
+
+CommStats Cluster::run_or_abort(int nranks,
+                                const std::function<void(Comm&)>& body,
+                                const ClusterOptions& options) {
+  ClusterResult r = run(nranks, body, options);
+  TRIOLET_CHECK(r.ok, r.error.c_str());
+  return r.total_stats;
+}
+
+}  // namespace triolet::net

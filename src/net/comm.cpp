@@ -1,0 +1,84 @@
+#include "net/comm.hpp"
+
+namespace triolet::net {
+
+ClusterState::ClusterState(int nranks, std::size_t max_message_bytes) {
+  TRIOLET_CHECK(nranks >= 1, "cluster needs at least one rank");
+  inboxes.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    inboxes.push_back(std::make_unique<Mailbox>(max_message_bytes));
+  }
+}
+
+void ClusterState::abort_all() {
+  aborted.store(true, std::memory_order_release);
+  for (auto& m : inboxes) m->interrupt();
+}
+
+void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
+  TRIOLET_CHECK(dst >= 0 && dst < size(), "send to invalid rank");
+  TRIOLET_CHECK(dst != rank_, "self-sends are not supported; use local data");
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  m.checksum = serial::checksum(payload);
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += static_cast<std::int64_t>(payload.size());
+  m.payload = std::move(payload);
+  state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+}
+
+Message Comm::recv_message(int src, int tag) {
+  Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
+      src, tag, state_->aborted);
+  TRIOLET_CHECK(serial::checksum(m.payload) == m.checksum,
+                "message payload failed checksum validation");
+  stats_.messages_received += 1;
+  stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  return m;
+}
+
+std::optional<Message> Comm::try_recv_message(int src, int tag) {
+  Message m;
+  if (!state_->inboxes[static_cast<std::size_t>(rank_)]->try_pop_match(src, tag,
+                                                                       m)) {
+    return std::nullopt;
+  }
+  TRIOLET_CHECK(serial::checksum(m.payload) == m.checksum,
+                "message payload failed checksum validation");
+  stats_.messages_received += 1;
+  stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  return m;
+}
+
+Comm::Group Comm::split(int color) {
+  std::vector<int> colors = allgather(color);
+  std::vector<int> members;
+  int my_group_rank = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (colors[static_cast<std::size_t>(r)] == color) {
+      if (r == rank_) my_group_rank = static_cast<int>(members.size());
+      members.push_back(r);
+    }
+  }
+  TRIOLET_CHECK(my_group_rank >= 0, "split: caller missing from its group");
+  return Group(this, std::move(members), my_group_rank);
+}
+
+void Comm::barrier() {
+  // Gather empty tokens at rank 0, then release everyone.
+  struct Token {};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      (void)recv_message(r, kTagBarrierUp);
+    }
+    for (int r = 1; r < size(); ++r) {
+      send_bytes(r, kTagBarrierDown, {});
+    }
+  } else {
+    send_bytes(0, kTagBarrierUp, {});
+    (void)recv_message(0, kTagBarrierDown);
+  }
+}
+
+}  // namespace triolet::net

@@ -1,0 +1,262 @@
+#pragma once
+
+// Communicator: the MPI-analogue endpoint each SPMD rank holds.
+//
+// Point-to-point send/recv move serialized byte payloads between per-rank
+// mailboxes; collectives (barrier, broadcast, scatter, gather, reduce,
+// allreduce) are layered on point-to-point with reserved tags, like a
+// minimal MPI implementation. Reductions combine partial results in rank
+// order so floating-point results are bitwise deterministic.
+
+#include <cstdint>
+#include <optional>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/mailbox.hpp"
+#include "serial/checksum.hpp"
+#include "serial/serialize.hpp"
+#include "support/macros.hpp"
+
+namespace triolet::net {
+
+/// User tags must stay below this; larger tags are reserved for collectives.
+inline constexpr int kFirstReservedTag = 1 << 28;
+
+struct CommStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_received = 0;
+};
+
+/// Shared state of one in-process cluster (owned by Cluster, referenced by
+/// every Comm).
+struct ClusterState {
+  explicit ClusterState(int nranks, std::size_t max_message_bytes);
+
+  std::vector<std::unique_ptr<Mailbox>> inboxes;
+  std::atomic<bool> aborted{false};
+
+  void abort_all();
+};
+
+class Comm {
+ public:
+  Comm(int rank, ClusterState* state) : rank_(rank), state_(state) {}
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(state_->inboxes.size()); }
+
+  // -- point to point ---------------------------------------------------------
+
+  /// Sends raw bytes to `dst` under `tag`.
+  void send_bytes(int dst, int tag, std::vector<std::byte> payload);
+
+  /// Serializes `v` and sends it.
+  template <typename T>
+  void send(int dst, int tag, const T& v) {
+    send_bytes(dst, tag, serial::to_bytes(v));
+  }
+
+  /// Blocking receive matching (src, tag); wildcards kAnySource / kAnyTag.
+  Message recv_message(int src, int tag);
+
+  /// Blocking typed receive.
+  template <typename T>
+  T recv(int src, int tag) {
+    Message m = recv_message(src, tag);
+    return serial::from_bytes<T>(m.payload);
+  }
+
+  /// Non-blocking receive: returns the matching message if one is already
+  /// queued (the MPI_Iprobe + MPI_Recv idiom).
+  std::optional<Message> try_recv_message(int src, int tag);
+
+  template <typename T>
+  std::optional<T> try_recv(int src, int tag) {
+    auto m = try_recv_message(src, tag);
+    if (!m) return std::nullopt;
+    return serial::from_bytes<T>(m->payload);
+  }
+
+  /// Deadlock-free pairwise exchange (MPI_Sendrecv): sends `v` to `peer`
+  /// and receives the peer's value under the same tag. Safe because sends
+  /// are buffered.
+  template <typename T>
+  T exchange(int peer, int tag, const T& v) {
+    send(peer, tag, v);
+    return recv<T>(peer, tag);
+  }
+
+  // -- collectives ------------------------------------------------------------
+  // All ranks must call each collective in the same order.
+
+  void barrier();
+
+  /// Root's value is copied to everyone.
+  template <typename T>
+  void broadcast(T& v, int root = 0) {
+    if (rank_ == root) {
+      auto bytes = serial::to_bytes(v);
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send_bytes(r, kTagBroadcast, bytes);
+      }
+    } else {
+      Message m = recv_message(root, kTagBroadcast);
+      v = serial::from_bytes<T>(m.payload);
+    }
+  }
+
+  /// Root receives everyone's value, indexed by rank.
+  template <typename T>
+  std::vector<T> gather(const T& v, int root = 0) {
+    if (rank_ == root) {
+      std::vector<T> all(static_cast<std::size_t>(size()));
+      all[static_cast<std::size_t>(root)] = v;
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) all[static_cast<std::size_t>(r)] = recv<T>(r, kTagGather);
+      }
+      return all;
+    }
+    send(root, kTagGather, v);
+    return {};
+  }
+
+  /// Root supplies one item per rank; each rank gets its own.
+  template <typename T>
+  T scatter(const std::vector<T>& items, int root = 0) {
+    if (rank_ == root) {
+      TRIOLET_CHECK(static_cast<int>(items.size()) == size(),
+                    "scatter needs one item per rank");
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send(r, kTagScatter, items[static_cast<std::size_t>(r)]);
+      }
+      return items[static_cast<std::size_t>(root)];
+    }
+    return recv<T>(root, kTagScatter);
+  }
+
+  /// Combines all ranks' values at root, folding in ascending rank order
+  /// (deterministic floating point). Non-root ranks get a default T.
+  template <typename T, typename Op>
+  T reduce(const T& v, Op op, int root = 0) {
+    std::vector<T> all = gather(v, root);
+    if (rank_ != root) return T{};
+    T acc = std::move(all[0]);
+    for (std::size_t r = 1; r < all.size(); ++r) {
+      acc = op(std::move(acc), std::move(all[r]));
+    }
+    return acc;
+  }
+
+  /// reduce + broadcast.
+  template <typename T, typename Op>
+  T allreduce(const T& v, Op op) {
+    T acc = reduce(v, op, 0);
+    broadcast(acc, 0);
+    return acc;
+  }
+
+  /// Every rank receives everyone's value, indexed by rank (MPI_Allgather).
+  template <typename T>
+  std::vector<T> allgather(const T& v) {
+    std::vector<T> all = gather(v, 0);
+    broadcast(all, 0);
+    return all;
+  }
+
+  const CommStats& stats() const { return stats_; }
+
+  // -- sub-communicators --------------------------------------------------------
+
+  /// Handle to a subgroup of ranks created by split(); relays typed
+  /// messages and group collectives through the parent communicator.
+  class Group;
+
+  /// Partitions ranks by `color` (MPI_Comm_split with key = rank): all
+  /// ranks must call it collectively; each receives the group of its color,
+  /// with group ranks assigned in ascending world-rank order.
+  Group split(int color);
+
+ private:
+  static constexpr int kTagBarrierUp = kFirstReservedTag + 0;
+  static constexpr int kTagBarrierDown = kFirstReservedTag + 1;
+  static constexpr int kTagBroadcast = kFirstReservedTag + 2;
+  static constexpr int kTagGather = kFirstReservedTag + 3;
+  static constexpr int kTagScatter = kFirstReservedTag + 4;
+
+  int rank_;
+  ClusterState* state_;
+  CommStats stats_;
+};
+
+/// A subgroup view over a parent communicator: translates group ranks to
+/// world ranks and runs group-scoped point-to-point and collectives. Tags
+/// are offset into a reserved band so group traffic cannot collide with the
+/// parent's user tags.
+class Comm::Group {
+ public:
+  Group(Comm* parent, std::vector<int> members, int my_group_rank)
+      : parent_(parent),
+        members_(std::move(members)),
+        rank_(my_group_rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  int world_rank(int group_rank) const {
+    TRIOLET_ASSERT(group_rank >= 0 && group_rank < size());
+    return members_[static_cast<std::size_t>(group_rank)];
+  }
+
+  template <typename T>
+  void send(int dst, int tag, const T& v) {
+    parent_->send(world_rank(dst), group_tag(tag), v);
+  }
+
+  template <typename T>
+  T recv(int src, int tag) {
+    return parent_->recv<T>(world_rank(src), group_tag(tag));
+  }
+
+  /// Group-scoped reduce to group rank 0, folding in group-rank order.
+  template <typename T, typename Op>
+  T reduce(const T& v, Op op) {
+    if (rank_ == 0) {
+      T acc = v;
+      for (int r = 1; r < size(); ++r) {
+        acc = op(std::move(acc), recv<T>(r, kGroupReduce));
+      }
+      return acc;
+    }
+    send(0, kGroupReduce, v);
+    return T{};
+  }
+
+  /// Group-scoped broadcast from group rank 0.
+  template <typename T>
+  void broadcast(T& v) {
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r) send(r, kGroupBcast, v);
+    } else {
+      v = recv<T>(0, kGroupBcast);
+    }
+  }
+
+ private:
+  // Topmost two tags of the group band are reserved for the collectives.
+  static constexpr int kGroupReduce = (1 << 20) - 2;
+  static constexpr int kGroupBcast = (1 << 20) - 1;
+  static int group_tag(int tag) {
+    TRIOLET_CHECK(tag >= 0 && tag < (1 << 20), "group tag out of range");
+    return (1 << 27) + tag;  // still below kFirstReservedTag
+  }
+
+  Comm* parent_;
+  std::vector<int> members_;
+  int rank_;
+};
+
+}  // namespace triolet::net

@@ -1,0 +1,52 @@
+#include "net/mailbox.hpp"
+
+namespace triolet::net {
+
+void Mailbox::push(Message msg) {
+  if (max_message_bytes_ != 0 && msg.payload.size() > max_message_bytes_) {
+    throw BufferOverflow();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_locked(int src, int tag, Message& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((src == kAnySource || it->src == src) &&
+        (tag == kAnyTag || it->tag == tag)) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Mailbox::pop_match(int src, int tag, const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Message out;
+  bool found = false;
+  cv_.wait(lock, [&] {
+    found = match_locked(src, tag, out);
+    return found || aborted.load(std::memory_order_acquire);
+  });
+  if (!found) throw ClusterAborted();
+  return out;
+}
+
+bool Mailbox::try_pop_match(int src, int tag, Message& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return match_locked(src, tag, out);
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace triolet::net

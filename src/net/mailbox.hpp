@@ -1,0 +1,46 @@
+#pragma once
+
+// Per-rank inbox: multi-producer blocking queue with (source, tag) matching.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "net/message.hpp"
+
+namespace triolet::net {
+
+class Mailbox {
+ public:
+  /// `max_message_bytes` == 0 means unbounded.
+  explicit Mailbox(std::size_t max_message_bytes = 0)
+      : max_message_bytes_(max_message_bytes) {}
+
+  /// Deposits a message. Throws BufferOverflow if it exceeds the buffer
+  /// limit configured for this cluster.
+  void push(Message msg);
+
+  /// Blocks until a message matching (src, tag) is available and removes it.
+  /// kAnySource / kAnyTag act as wildcards. Throws ClusterAborted if the
+  /// cluster's abort flag is raised while waiting.
+  Message pop_match(int src, int tag, const std::atomic<bool>& aborted);
+
+  /// Non-blocking variant; returns false if no matching message is queued.
+  bool try_pop_match(int src, int tag, Message& out);
+
+  /// Wakes all blocked receivers (used on abort).
+  void interrupt();
+
+  std::size_t size() const;
+
+ private:
+  bool match_locked(int src, int tag, Message& out);
+
+  const std::size_t max_message_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace triolet::net

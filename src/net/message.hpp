@@ -1,0 +1,45 @@
+#pragma once
+
+// Wire-level message for the in-process cluster substrate.
+//
+// Ranks communicate only through these serialized payloads; nothing else is
+// shared between ranks in skeleton code, so the substrate enforces the same
+// discipline a real MPI cluster would (paper §3.4). Payloads carry a
+// checksum so corrupted slicing/serialization is detected at receive time.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace triolet::net {
+
+/// Matches any source rank in recv().
+inline constexpr int kAnySource = -1;
+/// Matches any tag in recv().
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  std::uint64_t checksum = 0;
+};
+
+/// Raised when a rank attempts to buffer a message larger than the
+/// substrate's limit (used to model Eden's bounded message buffering).
+class BufferOverflow : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "message exceeds the communication buffer limit";
+  }
+};
+
+/// Raised on ranks blocked in recv() when a peer rank failed.
+class ClusterAborted : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "cluster aborted: a peer rank raised an error";
+  }
+};
+
+}  // namespace triolet::net

@@ -1,0 +1,26 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+
+namespace triolet::runtime {
+
+index_t auto_grain(index_t n, int nthreads) {
+  index_t target_chunks = static_cast<index_t>(nthreads) * 8;
+  return std::max<index_t>(1, n / std::max<index_t>(1, target_chunks));
+}
+
+namespace {
+thread_local ThreadPool* tl_current_pool = nullptr;
+}  // namespace
+
+ThreadPool& current_pool() {
+  return tl_current_pool != nullptr ? *tl_current_pool : ThreadPool::global();
+}
+
+PoolScope::PoolScope(ThreadPool& pool) : prev_(tl_current_pool) {
+  tl_current_pool = &pool;
+}
+
+PoolScope::~PoolScope() { tl_current_pool = prev_; }
+
+}  // namespace triolet::runtime

@@ -1,0 +1,176 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "support/macros.hpp"
+#include "support/rng.hpp"
+
+namespace triolet::runtime {
+
+namespace {
+
+// Which pool the current thread works for, and its index there.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker = -1;
+
+int env_threads() {
+  if (const char* s = std::getenv("TRIOLET_THREADS")) {
+    int n = std::atoi(s);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+TaskGroup::~TaskGroup() {
+  TRIOLET_CHECK(pending_.load() == 0,
+                "TaskGroup destroyed with tasks still pending");
+}
+
+ThreadPool::ThreadPool(int nthreads) {
+  TRIOLET_CHECK(nthreads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Any jobs left in queues are leaked deliberately only if a TaskGroup
+  // outlived its waits, which TaskGroup's destructor forbids; drain anyway.
+  for (auto& w : workers_) {
+    Job* j = nullptr;
+    while (w->deque.pop(j)) delete j;
+  }
+  for (Job* j : injected_) delete j;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(env_threads());
+  return pool;
+}
+
+int ThreadPool::current_worker() { return tl_worker; }
+
+void ThreadPool::submit(TaskGroup& group, std::function<void()> fn) {
+  group.pending_.fetch_add(1, std::memory_order_acq_rel);
+  auto* job = new Job{std::move(fn), &group};
+  if (tl_pool == this && tl_worker >= 0) {
+    workers_[static_cast<std::size_t>(tl_worker)]->deque.push(job);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    injected_.push_back(job);
+    n_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  notify_work();
+}
+
+void ThreadPool::notify_work() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+  }
+  cv_.notify_all();
+}
+
+ThreadPool::Job* ThreadPool::try_acquire(int self) {
+  Job* job = nullptr;
+  // 1. Own deque (workers only).
+  if (self >= 0 &&
+      workers_[static_cast<std::size_t>(self)]->deque.pop(job)) {
+    return job;
+  }
+  // 2. Injection queue.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!injected_.empty()) {
+      job = injected_.front();
+      injected_.pop_front();
+      return job;
+    }
+  }
+  // 3. Steal. Start at a per-thread pseudo-random victim for fairness.
+  static thread_local Xoshiro256 rng(
+      0x9e3779b97f4a7c15ull ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const int n = size();
+  int start = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  for (int k = 0; k < n; ++k) {
+    int v = (start + k) % n;
+    if (v == self) continue;
+    if (workers_[static_cast<std::size_t>(v)]->deque.steal(job)) {
+      n_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::run_job(Job* job) {
+  n_executed_.fetch_add(1, std::memory_order_relaxed);
+  job->fn();
+  TaskGroup* g = job->group;
+  delete job;
+  if (g->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Group drained; waiters poll pending_, but wake sleepers promptly.
+    cv_.notify_all();
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  Job* job = try_acquire(tl_pool == this ? tl_worker : -1);
+  if (!job) return false;
+  run_job(job);
+  return true;
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.tasks_executed = n_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = n_stolen_.load(std::memory_order_relaxed);
+  s.tasks_injected = n_injected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::worker_loop(int idx) {
+  tl_pool = this;
+  tl_worker = idx;
+  for (;;) {
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) break;
+    std::uint64_t seen = epoch_;
+    cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) break;
+  }
+  tl_pool = nullptr;
+  tl_worker = -1;
+}
+
+void ThreadPool::wait(TaskGroup& group) {
+  int spins = 0;
+  while (group.pending_.load(std::memory_order_acquire) > 0) {
+    if (try_run_one()) {
+      spins = 0;
+      continue;
+    }
+    // Nothing runnable here but the group is still live on other threads.
+    if (++spins > 16) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace triolet::runtime

@@ -1,0 +1,116 @@
+#pragma once
+
+// Work-stealing thread pool: the intra-node half of Triolet's two-level
+// parallel architecture (§3.4). The original system used Threading Building
+// Blocks; this pool fills the same role: fork-join task parallelism with
+// per-worker Chase–Lev deques and randomized stealing.
+//
+// Tasks are submitted into a TaskGroup; `wait` blocks until the group
+// drains, *helping* (running queued tasks) rather than idling, so nested
+// parallelism cannot deadlock.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/ws_deque.hpp"
+
+namespace triolet::runtime {
+
+class ThreadPool;
+
+/// A join point for a set of submitted tasks.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup();
+
+  std::int64_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ThreadPool;
+  std::atomic<std::int64_t> pending_{0};
+};
+
+/// Lifetime counters of a pool (approximate; relaxed atomics).
+struct PoolStats {
+  std::int64_t tasks_executed = 0;
+  std::int64_t tasks_stolen = 0;
+  std::int64_t tasks_injected = 0;
+};
+
+class ThreadPool {
+ public:
+  /// Spawns `nthreads` workers (>= 1).
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool. Size comes from TRIOLET_THREADS if set, else
+  /// std::thread::hardware_concurrency().
+  static ThreadPool& global();
+
+  /// Index of the calling pool worker in [0, size()), or -1 for threads that
+  /// are not workers of any pool.
+  static int current_worker();
+
+  /// Enqueues `fn` into `group`. Callable from workers and external threads.
+  void submit(TaskGroup& group, std::function<void()> fn);
+
+  /// Blocks until every task submitted to `group` has finished, running
+  /// queued tasks while waiting.
+  void wait(TaskGroup& group);
+
+  /// Runs one queued task if any is available. Returns false when no task
+  /// could be obtained. Exposed for tests and for cooperative waiting.
+  bool try_run_one();
+
+  /// Snapshot of the pool's lifetime counters.
+  PoolStats stats() const;
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  struct Worker {
+    WsDeque<Job*> deque;
+  };
+
+  void worker_loop(int idx);
+  Job* try_acquire(int self);
+  void run_job(Job* job);
+  void notify_work();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Injection queue for submissions from non-worker threads, plus the
+  // sleep/wake machinery. An epoch counter avoids lost wakeups: every
+  // submission bumps it, and sleepers re-scan whenever it moves.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job*> injected_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+
+  std::atomic<std::int64_t> n_executed_{0};
+  std::atomic<std::int64_t> n_stolen_{0};
+  std::atomic<std::int64_t> n_injected_{0};
+};
+
+}  // namespace triolet::runtime

@@ -1,0 +1,138 @@
+#pragma once
+
+// Chase–Lev work-stealing deque.
+//
+// Memory ordering follows Lê, Pop, Cohen, Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13). The owner
+// pushes/pops at the bottom; thieves steal from the top. Elements must be
+// trivially copyable (the pool stores raw Job pointers).
+//
+// Buffer growth retires old buffers instead of freeing them immediately; a
+// thief holding a stale buffer pointer still reads valid slots for the
+// indices it can observe. Retired buffers are reclaimed when the deque is
+// destroyed.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace triolet::runtime {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit WsDeque(std::int64_t initial_capacity = 64)
+      : top_(0), bottom_(0), buffer_(new Buffer(initial_capacity)) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  /// Owner only.
+  void push(T item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns false if the deque observed empty.
+  bool pop(T& out) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    bool ok = false;
+    if (t <= b) {
+      out = buf->get(b);
+      ok = true;
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          ok = false;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return ok;
+  }
+
+  /// Any thread. Returns false if empty or if the steal lost a race.
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      Buffer* buf = buffer_.load(std::memory_order_consume);
+      T item = buf->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return false;  // lost the race; caller may retry elsewhere
+      }
+      out = item;
+      return true;
+    }
+    return false;
+  }
+
+  /// Approximate size; only advisory (used for victim selection heuristics).
+  std::int64_t size_approx() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {
+      TRIOLET_CHECK((cap & (cap - 1)) == 0, "deque capacity must be 2^k");
+    }
+    ~Buffer() { delete[] slots; }
+
+    void put(std::int64_t i, T v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::atomic<T>* const slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // owner-only structure
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_;
+  std::atomic<std::int64_t> bottom_;
+  std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;
+};
+
+}  // namespace triolet::runtime

@@ -1,0 +1,82 @@
+#pragma once
+
+// Byte-buffer primitives for the serialization framework.
+//
+// The paper's runtime serializes objects to byte arrays before sending them
+// between cluster nodes (§3.4). `ByteWriter` and `ByteReader` are the
+// low-level halves of that facility: a growable output buffer and a
+// bounds-checked input cursor. Pointer-free arrays take the block-copy fast
+// path through `write_raw`/`read_raw`.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace triolet::serial {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  void write_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_raw(&v, sizeof(T));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::byte> bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  void read_raw(void* out, std::size_t n) {
+    TRIOLET_CHECK(pos_ + n <= bytes_.size(),
+                  "deserialization read past end of buffer");
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read_raw(&v, sizeof(T));
+    return v;
+  }
+
+  /// Borrow `n` bytes in place without copying (valid while the underlying
+  /// buffer lives). Used by the array block-copy fast path.
+  std::span<const std::byte> view_raw(std::size_t n) {
+    TRIOLET_CHECK(pos_ + n <= bytes_.size(),
+                  "deserialization view past end of buffer");
+    auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace triolet::serial

@@ -1,0 +1,16 @@
+#pragma once
+
+// Payload checksums. The net:: substrate stamps every message with a
+// checksum so corruption (e.g. a slicing bug producing the wrong byte range)
+// is caught at the receiver rather than surfacing as wrong numerics later.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace triolet::serial {
+
+/// FNV-1a over a byte range; cheap and adequate for in-process integrity.
+std::uint64_t checksum(std::span<const std::byte> bytes);
+
+}  // namespace triolet::serial

@@ -1,0 +1,121 @@
+#pragma once
+
+// Global data segments (paper §3.4): "Pointers to global data are
+// serialized as a segment identifier and offset."
+//
+// Large immutable data that every rank already holds (lookup tables,
+// constant geometry) should not cross the wire repeatedly. A value is
+// *published* once into the process-wide SegmentRegistry; the resulting
+// GlobalRef<T> serializes as just its segment identifier, and deserializing
+// resolves the identifier back to the shared value. On this in-process SPMD
+// substrate every rank shares the registry, mirroring the identical global
+// segments of an SPMD binary on a real cluster.
+//
+// GlobalRef also works as an iterator *context* (see core::map_with): a
+// fused loop can reference megabytes of published data while its serialized
+// task stays a few bytes.
+//
+// Type safety: each segment records a type tag; resolving with the wrong
+// type aborts rather than reinterpreting memory.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <vector>
+
+#include "serial/serialize.hpp"
+#include "support/macros.hpp"
+
+namespace triolet::serial {
+
+using segment_id_t = std::uint64_t;
+
+class SegmentRegistry {
+ public:
+  static SegmentRegistry& instance() {
+    static SegmentRegistry reg;
+    return reg;
+  }
+
+  template <typename T>
+  segment_id_t publish(std::shared_ptr<const T> value) {
+    TRIOLET_CHECK(value != nullptr, "cannot publish a null segment");
+    std::lock_guard<std::mutex> lock(mu_);
+    segments_.push_back(Entry{std::static_pointer_cast<const void>(value),
+                              std::type_index(typeid(T))});
+    return static_cast<segment_id_t>(segments_.size() - 1);
+  }
+
+  template <typename T>
+  std::shared_ptr<const T> resolve(segment_id_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    TRIOLET_CHECK(id < segments_.size(), "unknown global segment id");
+    const Entry& e = segments_[static_cast<std::size_t>(id)];
+    TRIOLET_CHECK(e.type == std::type_index(typeid(T)),
+                  "global segment resolved with the wrong type");
+    return std::static_pointer_cast<const T>(e.data);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return segments_.size();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> data;
+    std::type_index type;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> segments_;
+};
+
+/// A handle to published global data. Copying and serializing are O(1);
+/// `get()` resolves (and caches) the shared value.
+template <typename T>
+class GlobalRef {
+ public:
+  GlobalRef() = default;  // unresolved; filled by deserialization
+
+  /// Publishes `value` into the registry and returns its handle.
+  static GlobalRef publish(T value) {
+    auto owned = std::make_shared<const T>(std::move(value));
+    GlobalRef ref;
+    ref.id_ = SegmentRegistry::instance().publish<T>(owned);
+    ref.cached_ = std::move(owned);
+    return ref;
+  }
+
+  segment_id_t id() const { return id_; }
+
+  const T& get() const {
+    if (!cached_) {
+      cached_ = SegmentRegistry::instance().resolve<T>(id_);
+    }
+    return *cached_;
+  }
+
+  bool operator==(const GlobalRef& o) const { return id_ == o.id_; }
+
+ private:
+  template <typename U, typename>
+  friend struct Codec;
+
+  segment_id_t id_ = ~segment_id_t{0};
+  mutable std::shared_ptr<const T> cached_;
+};
+
+template <typename T>
+struct Codec<GlobalRef<T>> {
+  static void write(ByteWriter& w, const GlobalRef<T>& g) {
+    w.write_pod<segment_id_t>(g.id());
+  }
+  static void read(ByteReader& r, GlobalRef<T>& g) {
+    g.id_ = r.read_pod<segment_id_t>();
+    g.cached_.reset();
+  }
+};
+
+}  // namespace triolet::serial

@@ -1,0 +1,14 @@
+#include "serial/checksum.hpp"
+
+namespace triolet::serial {
+
+std::uint64_t checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace triolet::serial

@@ -1,0 +1,69 @@
+#pragma once
+
+// Cost model for the simulated cluster interconnect.
+//
+// The reproduction host has a single physical core, so parallel wall-clock
+// cannot be observed directly (see DESIGN.md). Instead, work chunks execute
+// for real and the *schedule* is simulated. This model prices each message:
+//
+//   sender busy  : fixed + bytes * per-byte copy cost * alloc_multiplier
+//   in flight    : latency + bytes / bandwidth  (NIC serializes transfers)
+//   receiver busy: fixed + bytes * per-byte copy cost
+//
+// Constants are scaled to this reproduction's problem sizes: the inputs run
+// ~1000x faster than the paper's Parboil datasets (see EXPERIMENTS.md), so
+// per-message latencies and endpoint overheads are scaled down accordingly
+// to keep communication/computation ratios representative of the paper's
+// 10 GbE EC2 testbed. Absolute seconds in the figures are therefore not
+// comparable to the paper; speedup curves are.
+// `alloc_multiplier` models allocator overhead when constructing large
+// messages: the paper attributes 40% (sgemm) / 60% (cutcp) of Triolet's
+// 8-node overhead to garbage-collected allocation of tens-of-MB buffers;
+// the Triolet runtime variant uses a multiplier > 1 for that reason, while
+// the C+MPI+OpenMP variant sends from preallocated buffers (multiplier 1).
+
+#include <cstdint>
+
+namespace triolet::sim {
+
+struct NetworkModel {
+  double latency = 2e-6;                // seconds per message (scaled)
+  double bandwidth = 5e9;               // bytes per second (scaled)
+  double fixed_overhead = 2e-7;         // per-message CPU cost at an endpoint
+  double copy_cost_per_byte = 0.25e-9;  // serialize/deserialize memcpy cost
+  double alloc_multiplier = 1.0;        // >1 models GC-style allocation cost
+  // GC overhead is a large-object phenomenon ("slow when allocating objects
+  // comprising tens of megabytes", §4.3): the multiplier only applies to
+  // messages above this size. 0 = apply to all messages.
+  std::int64_t alloc_threshold_bytes = 0;
+
+  double multiplier_for(std::int64_t bytes) const {
+    return bytes >= alloc_threshold_bytes ? alloc_multiplier : 1.0;
+  }
+
+  double send_busy(std::int64_t bytes) const {
+    return fixed_overhead + static_cast<double>(bytes) * copy_cost_per_byte *
+                                multiplier_for(bytes);
+  }
+  double recv_busy(std::int64_t bytes) const {
+    // Deserialization allocates the received object, so the same allocator
+    // model applies at the receiver.
+    return fixed_overhead + static_cast<double>(bytes) * copy_cost_per_byte *
+                                multiplier_for(bytes);
+  }
+  double flight(std::int64_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+/// Virtual machine shape: `nodes` cluster nodes with `cores_per_node` cores,
+/// mirroring the paper's 8-node x 16-core EC2 system.
+struct MachineConfig {
+  int nodes = 8;
+  int cores_per_node = 16;
+  NetworkModel net;
+
+  int total_cores() const { return nodes * cores_per_node; }
+};
+
+}  // namespace triolet::sim

@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace triolet::sim {
+
+namespace {
+
+struct Arrival {
+  double time;
+  std::int64_t bytes;
+};
+
+}  // namespace
+
+SimResult simulate(const SimTrace& trace, const NetworkModel& net) {
+  const int p = trace.nranks();
+  std::vector<std::size_t> pc(static_cast<std::size_t>(p), 0);
+  std::vector<double> t(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> nic_free(static_cast<std::size_t>(p), 0.0);
+  std::map<std::pair<int, int>, std::deque<Arrival>> in_flight;
+
+  SimResult result;
+
+  // Round-robin fixpoint: each pass advances every rank as far as it can;
+  // ranks blocked on a not-yet-simulated send make progress on a later pass.
+  bool progress = true;
+  bool done = false;
+  while (progress && !done) {
+    progress = false;
+    done = true;
+    for (int r = 0; r < p; ++r) {
+      const auto& ops = trace.ops(r);
+      auto& i = pc[static_cast<std::size_t>(r)];
+      while (i < ops.size()) {
+        const SimOp& op = ops[i];
+        auto& tr = t[static_cast<std::size_t>(r)];
+        if (op.kind == OpKind::kCompute) {
+          tr += op.seconds;
+        } else if (op.kind == OpKind::kSend) {
+          const double busy = net.send_busy(op.bytes);
+          result.total_comm_busy += busy;
+          tr += busy;
+          // The sender's NIC serializes its outgoing transfers.
+          auto& nf = nic_free[static_cast<std::size_t>(r)];
+          const double start = std::max(tr, nf);
+          const double xfer = static_cast<double>(op.bytes) / net.bandwidth;
+          nf = start + xfer;
+          const double arrival = start + net.latency + xfer;
+          in_flight[{r, op.peer}].push_back({arrival, op.bytes});
+          result.total_bytes += static_cast<double>(op.bytes);
+        } else {  // kRecv
+          auto it = in_flight.find({op.peer, r});
+          if (it == in_flight.end() || it->second.empty()) break;  // blocked
+          const Arrival a = it->second.front();
+          it->second.pop_front();
+          const double busy = net.recv_busy(a.bytes);
+          result.total_comm_busy += busy;
+          tr = std::max(tr, a.time) + busy;
+        }
+        ++i;
+        progress = true;
+      }
+      if (i < ops.size()) done = false;
+    }
+  }
+  TRIOLET_CHECK(done, "simulated trace deadlocked: recv without matching send");
+
+  result.rank_finish = t;
+  for (double f : t) result.makespan = std::max(result.makespan, f);
+  return result;
+}
+
+}  // namespace triolet::sim

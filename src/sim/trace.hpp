@@ -1,0 +1,76 @@
+#pragma once
+
+// Event traces for the cluster simulator.
+//
+// A trace records, per simulated rank (= cluster node), the ordered sequence
+// of operations the distributed algorithm performs: local computation
+// (durations measured from real execution of the actual work), sends
+// (byte counts measured from the real serializer), and receives. The
+// simulator replays the trace against a NetworkModel to obtain the parallel
+// makespan.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network_model.hpp"
+#include "support/macros.hpp"
+
+namespace triolet::sim {
+
+enum class OpKind { kCompute, kSend, kRecv };
+
+struct SimOp {
+  OpKind kind;
+  double seconds = 0.0;     // kCompute only
+  int peer = -1;            // kSend: destination, kRecv: source
+  std::int64_t bytes = 0;   // kSend only
+};
+
+class SimTrace {
+ public:
+  explicit SimTrace(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {}
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+
+  void compute(int rank, double seconds) {
+    TRIOLET_ASSERT(seconds >= 0.0);
+    if (seconds > 0.0) op(rank).push_back({OpKind::kCompute, seconds, -1, 0});
+  }
+
+  void send(int rank, int dst, std::int64_t bytes) {
+    TRIOLET_ASSERT(dst >= 0 && dst < nranks() && dst != rank);
+    op(rank).push_back({OpKind::kSend, 0.0, dst, bytes});
+  }
+
+  void recv(int rank, int src) {
+    TRIOLET_ASSERT(src >= 0 && src < nranks() && src != rank);
+    op(rank).push_back({OpKind::kRecv, 0.0, src, 0});
+  }
+
+  const std::vector<SimOp>& ops(int rank) const {
+    return ranks_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  std::vector<SimOp>& op(int rank) {
+    TRIOLET_ASSERT(rank >= 0 && rank < nranks());
+    return ranks_[static_cast<std::size_t>(rank)];
+  }
+
+  std::vector<std::vector<SimOp>> ranks_;
+};
+
+/// Result of replaying a trace.
+struct SimResult {
+  double makespan = 0.0;                // max finish time over ranks
+  std::vector<double> rank_finish;      // per-rank finish times
+  double total_bytes = 0.0;             // traffic volume
+  double total_comm_busy = 0.0;         // CPU-seconds spent in send/recv busy
+};
+
+/// Replays `trace` against `net`. Messages between a (src, dst) pair match
+/// in FIFO order; each rank's NIC serializes its outgoing transfers.
+/// Aborts on deadlock (a recv whose send never happens).
+SimResult simulate(const SimTrace& trace, const NetworkModel& net);
+
+}  // namespace triolet::sim

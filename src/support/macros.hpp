@@ -1,0 +1,37 @@
+#pragma once
+
+// Always-on assertion macros. Skeleton code is assembled from many small
+// components; precondition failures must fail loudly in Release builds too,
+// because the benches run Release.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace triolet {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "triolet: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace triolet
+
+#define TRIOLET_ASSERT(expr)                                          \
+  do {                                                                \
+    if (!(expr)) ::triolet::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define TRIOLET_CHECK(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) ::triolet::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#if defined(__GNUC__)
+#define TRIOLET_INLINE inline __attribute__((always_inline))
+#define TRIOLET_NOINLINE __attribute__((noinline))
+#else
+#define TRIOLET_INLINE inline
+#define TRIOLET_NOINLINE
+#endif

@@ -1,0 +1,19 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace triolet {
+
+double Xoshiro256::normal() {
+  // Marsaglia polar method; loops rarely (acceptance ~0.785).
+  for (;;) {
+    double u = uniform(-1.0, 1.0);
+    double v = uniform(-1.0, 1.0);
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace triolet

@@ -1,0 +1,111 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/macros.hpp"
+
+namespace triolet {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TRIOLET_CHECK(cells.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), str().c_str());
+  std::fflush(stdout);
+}
+
+std::string AsciiChart::str() const {
+  double xmax = 1.0, ymax = 1.0;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (std::isnan(s.ys[i])) continue;
+      xmax = std::max(xmax, s.xs[i]);
+      ymax = std::max(ymax, s.ys[i]);
+    }
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  auto plot = [&](double x, double y, char g) {
+    int col = static_cast<int>(std::lround(x / xmax * (width_ - 1)));
+    int row = static_cast<int>(std::lround(y / ymax * (height_ - 1)));
+    col = std::clamp(col, 0, width_ - 1);
+    row = std::clamp(row, 0, height_ - 1);
+    grid[static_cast<std::size_t>(height_ - 1 - row)]
+        [static_cast<std::size_t>(col)] = g;
+  };
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isnan(s.ys[i])) plot(s.xs[i], s.ys[i], s.glyph);
+    }
+  }
+  std::ostringstream os;
+  for (int r = 0; r < height_; ++r) {
+    double yv = ymax * (height_ - 1 - r) / (height_ - 1);
+    char label[16];
+    std::snprintf(label, sizeof label, "%6.1f |", yv);
+    os << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "       +" << std::string(static_cast<std::size_t>(width_), '-') << '\n';
+  char xlab[64];
+  std::snprintf(xlab, sizeof xlab, "       0%*s%.0f\n", width_ - 4, "", xmax);
+  os << xlab;
+  os << "  legend:";
+  for (const auto& s : series_) os << "  " << s.glyph << "=" << s.name;
+  os << '\n';
+  return os.str();
+}
+
+void AsciiChart::print(const std::string& title) const {
+  std::printf("\n-- %s --\n%s", title.c_str(), str().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace triolet

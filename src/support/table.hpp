@@ -1,0 +1,62 @@
+#pragma once
+
+// Plain-text reporting for the figure/table harnesses in bench/.
+//
+// Each harness reproduces one table or figure from the paper; `Table` prints
+// the rows, and `AsciiChart` renders speedup-vs-cores series the way the
+// paper's line plots do, so the shape of each figure is visible directly in
+// terminal output.
+
+#include <string>
+#include <vector>
+
+namespace triolet {
+
+/// Fixed-width text table. Columns are sized to their widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `prec` digits after the point.
+  static std::string num(double v, int prec = 3);
+  static std::string num(std::int64_t v);
+
+  /// Renders the table, one row per line, columns separated by two spaces.
+  std::string str() const;
+
+  /// Prints to stdout with a title line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series for an ASCII line chart.
+struct ChartSeries {
+  std::string name;
+  char glyph;                 // plotted character, e.g. 'T' for Triolet
+  std::vector<double> xs;     // e.g. core counts
+  std::vector<double> ys;     // e.g. speedups; NaN = missing point
+};
+
+/// Renders multiple series into a `width` x `height` character grid with
+/// axes, mimicking the paper's speedup-over-cores figures.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 72, int height = 22) : width_(width), height_(height) {}
+
+  void add(ChartSeries series) { series_.push_back(std::move(series)); }
+
+  std::string str() const;
+  void print(const std::string& title) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace triolet

@@ -1,0 +1,25 @@
+#include "support/timing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/macros.hpp"
+
+namespace triolet {
+
+TimingStats summarize(std::vector<double> samples) {
+  TRIOLET_CHECK(!samples.empty(), "summarize() needs at least one sample");
+  std::sort(samples.begin(), samples.end());
+  TimingStats st;
+  st.samples = static_cast<int>(samples.size());
+  st.min = samples.front();
+  st.max = samples.back();
+  st.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+            static_cast<double>(samples.size());
+  const std::size_t n = samples.size();
+  st.median = (n % 2 == 1) ? samples[n / 2]
+                           : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  return st;
+}
+
+}  // namespace triolet

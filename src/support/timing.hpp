@@ -1,0 +1,62 @@
+#pragma once
+
+// Wall-clock timing utilities used by the benchmark harnesses and by the
+// traced executor that feeds the cluster simulator.
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace triolet {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds since construction or last reset().
+  std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Summary statistics over repeated timing samples.
+struct TimingStats {
+  double min = 0.0;
+  double median = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  int samples = 0;
+};
+
+TimingStats summarize(std::vector<double> samples);
+
+/// Times `fn` `repeats` times and returns summary statistics, running
+/// `warmups` untimed calls first.
+template <typename Fn>
+TimingStats time_fn(Fn&& fn, int repeats = 5, int warmups = 1) {
+  for (int i = 0; i < warmups; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.seconds());
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace triolet

@@ -1,0 +1,167 @@
+// Unit tests for the dense array library: global-base indexing, slicing
+// invariants (the §3.5 partitioning substrate), transposition, and
+// serialization of arrays and slices.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "array/array.hpp"
+#include "serial/serialize.hpp"
+#include "support/rng.hpp"
+
+namespace triolet {
+namespace {
+
+TEST(Array1, ConstructsAndIndexes) {
+  Array1<int> a(5, 7);
+  EXPECT_EQ(a.size(), 5);
+  EXPECT_EQ(a.lo(), 0);
+  EXPECT_EQ(a.hi(), 5);
+  for (index_t i = 0; i < 5; ++i) EXPECT_EQ(a[i], 7);
+}
+
+TEST(Array1, SliceKeepsGlobalIndices) {
+  Array1<int> a(10);
+  for (index_t i = 0; i < 10; ++i) a[i] = static_cast<int>(i * i);
+  Array1<int> s = a.slice(3, 7);
+  EXPECT_EQ(s.lo(), 3);
+  EXPECT_EQ(s.hi(), 7);
+  for (index_t i = 3; i < 7; ++i) EXPECT_EQ(s[i], a[i]);
+}
+
+TEST(Array1, SliceOfSliceComposes) {
+  Array1<int> a(100);
+  for (index_t i = 0; i < 100; ++i) a[i] = static_cast<int>(i);
+  auto s1 = a.slice(10, 90);
+  auto s2 = s1.slice(40, 50);
+  for (index_t i = 40; i < 50; ++i) EXPECT_EQ(s2[i], static_cast<int>(i));
+}
+
+TEST(Array1, EmptySliceIsAllowed) {
+  Array1<int> a(4);
+  auto s = a.slice(2, 2);
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.lo(), 2);
+}
+
+TEST(Array1Death, OutOfRangeSliceAborts) {
+  Array1<int> a(4);
+  EXPECT_DEATH((void)a.slice(1, 5), "slice out of range");
+}
+
+TEST(Array1Death, OutOfRangeIndexAborts) {
+  Array1<int> a(4);
+  auto s = a.slice(1, 3);
+  EXPECT_DEATH((void)s[0], "");
+  EXPECT_DEATH((void)s[3], "");
+}
+
+TEST(Array1, SerializationPreservesBase) {
+  Array1<double> a(10);
+  for (index_t i = 0; i < 10; ++i) a[i] = 0.5 * static_cast<double>(i);
+  auto s = a.slice(4, 8);
+  auto back = serial::from_bytes<Array1<double>>(serial::to_bytes(s));
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(back.lo(), 4);
+  EXPECT_DOUBLE_EQ(back[5], a[5]);
+}
+
+TEST(Array2, RowMajorLayout) {
+  Array2<int> m(3, 4);
+  int v = 0;
+  for (index_t y = 0; y < 3; ++y)
+    for (index_t x = 0; x < 4; ++x) m(y, x) = v++;
+  EXPECT_EQ(m.storage()[5], m(1, 1));
+  EXPECT_EQ(m.row(2)[3], m(2, 3));
+}
+
+TEST(Array2, RowSpanIsContiguousView) {
+  Array2<float> m(2, 8, 1.5f);
+  auto r = m.row(1);
+  EXPECT_EQ(r.size(), 8u);
+  EXPECT_EQ(r.data(), m.data() + 8);
+}
+
+TEST(Array2, SliceRowsKeepsGlobalRows) {
+  Array2<int> m(6, 3);
+  for (index_t y = 0; y < 6; ++y)
+    for (index_t x = 0; x < 3; ++x) m(y, x) = static_cast<int>(10 * y + x);
+  auto s = m.slice_rows(2, 5);
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.row_lo(), 2);
+  for (index_t y = 2; y < 5; ++y)
+    for (index_t x = 0; x < 3; ++x) EXPECT_EQ(s(y, x), m(y, x));
+}
+
+TEST(Array2, SlicedRowsSerializeAndRestore) {
+  Array2<double> m(5, 4);
+  for (index_t y = 0; y < 5; ++y)
+    for (index_t x = 0; x < 4; ++x) m(y, x) = y + 0.1 * static_cast<double>(x);
+  auto s = m.slice_rows(1, 4);
+  auto back = serial::from_bytes<Array2<double>>(serial::to_bytes(s));
+  EXPECT_EQ(back, s);
+  EXPECT_DOUBLE_EQ(back(3, 2), m(3, 2));
+}
+
+TEST(Array2Death, RowSliceOutOfRangeAborts) {
+  Array2<int> m(3, 3);
+  EXPECT_DEATH((void)m.slice_rows(1, 4), "row slice out of range");
+}
+
+TEST(Array3, IndexesZMajor) {
+  Array3<int> g(2, 3, 4);
+  int v = 0;
+  for (index_t z = 0; z < 2; ++z)
+    for (index_t y = 0; y < 3; ++y)
+      for (index_t x = 0; x < 4; ++x) g(z, y, x) = v++;
+  EXPECT_EQ(g.storage()[(1 * 3 + 2) * 4 + 3], g(1, 2, 3));
+  EXPECT_EQ(g.size(), 24);
+}
+
+TEST(Array3, Serializes) {
+  Array3<float> g(2, 2, 2, 0.25f);
+  g(1, 0, 1) = -4.0f;
+  auto back = serial::from_bytes<Array3<float>>(serial::to_bytes(g));
+  EXPECT_EQ(back, g);
+}
+
+TEST(Transpose, InvolutionOnRandomMatrix) {
+  Xoshiro256 rng(17);
+  Array2<double> m(7, 5);
+  for (index_t y = 0; y < 7; ++y)
+    for (index_t x = 0; x < 5; ++x) m(y, x) = rng.uniform();
+  Array2<double> t = transpose(m);
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 7);
+  for (index_t y = 0; y < 7; ++y)
+    for (index_t x = 0; x < 5; ++x) EXPECT_DOUBLE_EQ(t(x, y), m(y, x));
+  EXPECT_EQ(transpose(t), m);
+}
+
+// Property sweep: concatenating the slices of any partition reconstructs the
+// original array — the invariant distributed partitioning relies on.
+class SlicePartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlicePartitionProperty, SlicesCoverArrayExactly) {
+  const int parts = GetParam();
+  Xoshiro256 rng(99);
+  Array1<int> a(103);
+  for (index_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<int>(rng.below(1000));
+  index_t n = a.size();
+  std::vector<int> rebuilt;
+  for (int p = 0; p < parts; ++p) {
+    index_t lo = n * p / parts, hi = n * (p + 1) / parts;
+    auto s = a.slice(lo, hi);
+    for (index_t i = lo; i < hi; ++i) rebuilt.push_back(s[i]);
+  }
+  ASSERT_EQ(static_cast<index_t>(rebuilt.size()), n);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(rebuilt[static_cast<size_t>(i)], a[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, SlicePartitionProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 103, 200));
+
+}  // namespace
+}  // namespace triolet

@@ -1,0 +1,201 @@
+// Systematic skeleton-composition matrix.
+//
+// The paper's Figure 2 design guarantees that "any composition of known
+// function calls can be simplified statically": a function's output loop
+// structure depends only on its input loop structure, so every composition
+// must both compile (the static dispatch resolves) and compute the right
+// answer. This suite walks two-stage and three-stage compositions of
+// {map, filter, concat_map, zip, indexed} over every starting constructor,
+// comparing each against a straightforward reference evaluation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/triolet.hpp"
+#include "support/rng.hpp"
+
+namespace triolet::core {
+namespace {
+
+Array1<std::int64_t> small_array(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Array1<std::int64_t> a(n);
+  for (index_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::int64_t>(rng.below(100)) - 50;
+  }
+  return a;
+}
+
+// Reference pipeline pieces over std::vector.
+std::vector<std::int64_t> ref_map(const std::vector<std::int64_t>& v) {
+  std::vector<std::int64_t> out;
+  for (auto x : v) out.push_back(x * 3 + 1);
+  return out;
+}
+std::vector<std::int64_t> ref_filter(const std::vector<std::int64_t>& v) {
+  std::vector<std::int64_t> out;
+  for (auto x : v) {
+    if (x % 2 == 0) out.push_back(x);
+  }
+  return out;
+}
+std::vector<std::int64_t> ref_expand(const std::vector<std::int64_t>& v) {
+  std::vector<std::int64_t> out;
+  for (auto x : v) {
+    for (std::int64_t j = 0; j < (x % 4 + 4) % 4; ++j) out.push_back(x + j);
+  }
+  return out;
+}
+
+// The same pieces as skeleton stages applicable to any iterator.
+auto stage_map = [](auto it) {
+  return map(std::move(it), [](std::int64_t x) { return x * 3 + 1; });
+};
+auto stage_filter = [](auto it) {
+  return filter(std::move(it), [](std::int64_t x) { return x % 2 == 0; });
+};
+auto stage_expand = [](auto it) {
+  return concat_map(std::move(it), [](std::int64_t x) {
+    return map(range(0, (x % 4 + 4) % 4),
+               [x](index_t j) { return x + j; });
+  });
+};
+
+// Starting iterators of each constructor kind over the same logical data.
+auto start_idx_flat(const Array1<std::int64_t>& a) { return from_array(a); }
+auto start_step_flat(const Array1<std::int64_t>& a) {
+  // zip against an irregular side forces the stepper encoding, then project.
+  auto tagged = zip(filter(from_array(a), [](std::int64_t) { return true; }),
+                    range(0, 1 << 20));
+  return map(tagged, [](const auto& p) { return p.first; });
+}
+auto start_idx_nest(const Array1<std::int64_t>& a) {
+  return filter(from_array(a), [](std::int64_t) { return true; });
+}
+auto start_step_nest(const Array1<std::int64_t>& a) {
+  return concat_map(start_step_flat(a), [](std::int64_t x) {
+    return map(range(0, 1), [x](index_t) { return x; });
+  });
+}
+
+template <typename It>
+void expect_matches(const It& it, const std::vector<std::int64_t>& expect,
+                    const char* what) {
+  EXPECT_EQ(to_vector(it), expect) << what;
+  EXPECT_EQ(count(it), static_cast<index_t>(expect.size())) << what;
+  std::int64_t ref_sum = 0;
+  for (auto v : expect) ref_sum += v;
+  EXPECT_EQ(sum(it), ref_sum) << what;
+}
+
+class CompositionMatrix : public ::testing::TestWithParam<int> {
+ protected:
+  Array1<std::int64_t> data =
+      small_array(97, static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::int64_t> base{data.begin(), data.end()};
+};
+
+// -- two-stage compositions over every starting constructor -------------------
+
+#define TWO_STAGE_CASE(NAME, S1, S2, R1, R2)                            \
+  TEST_P(CompositionMatrix, NAME) {                                    \
+    auto expect = R2(R1(base));                                        \
+    expect_matches(S2(S1(start_idx_flat(data))), expect, "IdxFlat");   \
+    expect_matches(S2(S1(start_step_flat(data))), expect, "StepFlat"); \
+    expect_matches(S2(S1(start_idx_nest(data))), expect, "IdxNest");   \
+    expect_matches(S2(S1(start_step_nest(data))), expect, "StepNest"); \
+  }
+
+TWO_STAGE_CASE(MapThenMap, stage_map, stage_map, ref_map, ref_map)
+TWO_STAGE_CASE(MapThenFilter, stage_map, stage_filter, ref_map, ref_filter)
+TWO_STAGE_CASE(MapThenExpand, stage_map, stage_expand, ref_map, ref_expand)
+TWO_STAGE_CASE(FilterThenMap, stage_filter, stage_map, ref_filter, ref_map)
+TWO_STAGE_CASE(FilterThenFilter, stage_filter, stage_filter, ref_filter,
+               ref_filter)
+TWO_STAGE_CASE(FilterThenExpand, stage_filter, stage_expand, ref_filter,
+               ref_expand)
+TWO_STAGE_CASE(ExpandThenMap, stage_expand, stage_map, ref_expand, ref_map)
+TWO_STAGE_CASE(ExpandThenFilter, stage_expand, stage_filter, ref_expand,
+               ref_filter)
+TWO_STAGE_CASE(ExpandThenExpand, stage_expand, stage_expand, ref_expand,
+               ref_expand)
+
+#undef TWO_STAGE_CASE
+
+// -- three-stage compositions (the irregular ones) ------------------------------
+
+TEST_P(CompositionMatrix, ExpandFilterMap) {
+  auto expect = ref_map(ref_filter(ref_expand(base)));
+  expect_matches(stage_map(stage_filter(stage_expand(start_idx_flat(data)))),
+                 expect, "IdxFlat");
+  expect_matches(stage_map(stage_filter(stage_expand(start_step_nest(data)))),
+                 expect, "StepNest");
+}
+
+TEST_P(CompositionMatrix, FilterExpandFilter) {
+  auto expect = ref_filter(ref_expand(ref_filter(base)));
+  expect_matches(
+      stage_filter(stage_expand(stage_filter(start_idx_flat(data)))), expect,
+      "IdxFlat");
+  expect_matches(
+      stage_filter(stage_expand(stage_filter(start_idx_nest(data)))), expect,
+      "IdxNest");
+}
+
+TEST_P(CompositionMatrix, ExpandExpandMap) {
+  auto expect = ref_map(ref_expand(ref_expand(base)));
+  expect_matches(stage_map(stage_expand(stage_expand(start_idx_flat(data)))),
+                 expect, "IdxFlat");
+}
+
+// -- zips across constructor kinds -------------------------------------------------
+
+TEST_P(CompositionMatrix, ZipIrregularAgainstRegular) {
+  // zip(filtered, mapped-range): reference pairs the filtered survivors with
+  // consecutive tags by position.
+  auto lhs = ref_filter(base);
+  std::vector<std::int64_t> expect;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    expect.push_back(lhs[i] + static_cast<std::int64_t>(i));
+  }
+  auto z = zip(stage_filter(start_idx_flat(data)),
+               range(0, static_cast<index_t>(base.size())));
+  auto sums = map(z, [](const auto& p) { return p.first + p.second; });
+  EXPECT_EQ(to_vector(sums), expect);
+}
+
+TEST_P(CompositionMatrix, ZipTwoIrregularSides) {
+  auto lhs = ref_filter(base);
+  auto rhs = ref_expand(base);
+  std::size_t n = std::min(lhs.size(), rhs.size());
+  std::vector<std::int64_t> expect;
+  for (std::size_t i = 0; i < n; ++i) expect.push_back(lhs[i] * rhs[i]);
+  auto z = zip(stage_filter(start_idx_flat(data)),
+               stage_expand(start_idx_flat(data)));
+  EXPECT_EQ(to_vector(map(z, [](const auto& p) { return p.first * p.second; })),
+            expect);
+}
+
+// -- consumers agree across hints on every composition ------------------------------
+
+TEST_P(CompositionMatrix, LocalparAgreesOnIrregularPipelines) {
+  auto it = stage_filter(stage_expand(stage_map(start_idx_flat(data))));
+  EXPECT_EQ(sum(localpar(it)), sum(it));
+  EXPECT_EQ(count(localpar(it)), count(it));
+}
+
+TEST_P(CompositionMatrix, SliceSumInvariantOnComposedPipelines) {
+  auto it = stage_expand(stage_map(start_idx_flat(data)));
+  std::int64_t whole = sum(it);
+  std::int64_t parts = 0;
+  for (const auto& chunk : split_blocks(it.domain(), 5)) {
+    parts += sum(it.slice(chunk));
+  }
+  EXPECT_EQ(parts, whole);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositionMatrix, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace triolet::core

@@ -1,0 +1,279 @@
+// Tests for the extended core API (zip_with, indexed, flatten, min/max/
+// average, short-circuit consumers), the iterator algebra laws that fusion
+// relies on, broadcast/global contexts, and 3D domain splitting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/triolet.hpp"
+#include "serial/global.hpp"
+#include "serial/serialize.hpp"
+#include "support/rng.hpp"
+
+namespace triolet::core {
+namespace {
+
+Array1<double> random_array(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Array1<double> a(n);
+  for (index_t i = 0; i < n; ++i) a[i] = rng.uniform(-5.0, 5.0);
+  return a;
+}
+
+// -- new skeletons --------------------------------------------------------------
+
+TEST(ZipWith, CombinesElementwise) {
+  // zip pairs elements at *corresponding indices* (paper §3.1), so both
+  // sides must share index space; shift values with map, not the domain.
+  auto shifted = map(range(0, 5), [](index_t i) { return i + 10; });
+  auto s = sum(zip_with(range(0, 5), shifted,
+                        [](index_t a, index_t b) { return a * b; }));
+  EXPECT_EQ(s, 0 * 10 + 1 * 11 + 2 * 12 + 3 * 13 + 4 * 14);
+}
+
+TEST(ZipWith, DisjointIndexRangesAreEmpty) {
+  // Index-aligned semantics: no common indices, no pairs.
+  auto z = zip_with(range(0, 5), range(10, 15),
+                    [](index_t a, index_t b) { return a * b; });
+  EXPECT_EQ(count(z), 0);
+}
+
+TEST(ZipWith, StaysIndexedForFlatInputs) {
+  auto z = zip_with(range(0, 5), range(0, 5),
+                    [](index_t a, index_t b) { return a + b; });
+  static_assert(decltype(z)::kKind == IterKind::kIdxFlat);
+  EXPECT_EQ(z.size(), 5);
+}
+
+TEST(Indexed, PairsElementsWithTheirIndices) {
+  Array1<int> xs(0, {7, 8, 9});
+  auto v = to_vector(indexed(from_array(xs)));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], (std::pair<index_t, int>{0, 7}));
+  EXPECT_EQ(v[2], (std::pair<index_t, int>{2, 9}));
+}
+
+TEST(Indexed, KeepsGlobalIndicesOnSlices) {
+  Array1<int> xs(10);
+  for (index_t i = 0; i < 10; ++i) xs[i] = static_cast<int>(100 + i);
+  auto it = indexed(from_array(xs));
+  auto sl = it.slice(Seq{4, 7});
+  auto v = to_vector(sl);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], (std::pair<index_t, int>{4, 104}));
+}
+
+TEST(Flatten, ConcatenatesInnerIterators) {
+  auto nested = map(range(0, 4), [](index_t i) { return range(0, i); });
+  // `nested` is an IdxFlat whose *values* are iterators; flatten nests it.
+  auto flat = flatten(nested);
+  static_assert(decltype(flat)::kKind == IterKind::kIdxNest);
+  EXPECT_EQ(to_vector(flat), (std::vector<index_t>{0, 0, 1, 0, 1, 2}));
+}
+
+// -- new consumers ---------------------------------------------------------------
+
+TEST(MinMax, FindExtremes) {
+  Array1<int> xs(0, {5, -3, 9, 0});
+  EXPECT_EQ(minimum(from_array(xs)), -3);
+  EXPECT_EQ(maximum(from_array(xs)), 9);
+}
+
+TEST(MinMax, WorkOnNestedIterators) {
+  auto nested = concat_map(range(1, 6), [](index_t i) {
+    return map(range(0, i), [i](index_t j) { return i * 10 + j; });
+  });
+  EXPECT_EQ(minimum(nested), 10);
+  EXPECT_EQ(maximum(nested), 54);
+}
+
+TEST(MinMaxDeath, EmptyIteratorAborts) {
+  EXPECT_DEATH((void)minimum(range(0, 0)), "empty");
+}
+
+TEST(Average, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(average(range(0, 101)), 50.0);
+  EXPECT_DOUBLE_EQ(average(range(5, 5)), 0.0);
+}
+
+TEST(ShortCircuit, AnyAllNone) {
+  auto evens = filter(range(0, 100), [](index_t i) { return i % 2 == 0; });
+  EXPECT_TRUE(any_of(evens, [](index_t i) { return i > 90; }));
+  EXPECT_FALSE(any_of(evens, [](index_t i) { return i % 2 == 1; }));
+  EXPECT_TRUE(all_of(evens, [](index_t i) { return i % 2 == 0; }));
+  EXPECT_FALSE(all_of(evens, [](index_t i) { return i < 50; }));
+  EXPECT_TRUE(none_of(evens, [](index_t i) { return i < 0; }));
+}
+
+TEST(ShortCircuit, AnyOfStopsEarly) {
+  index_t visited = 0;
+  auto it = map(range(0, 1000000), [&visited](index_t i) {
+    ++visited;
+    return i;
+  });
+  EXPECT_TRUE(any_of(it, [](index_t i) { return i == 3; }));
+  EXPECT_EQ(visited, 4);  // early exit after the hit
+}
+
+TEST(ShortCircuit, FindFirstReturnsEarliestMatch) {
+  auto nested = concat_map(range(0, 10), [](index_t i) { return range(0, i); });
+  auto hit = find_first(nested, [](index_t v) { return v == 2; });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2);
+  EXPECT_FALSE(find_first(nested, [](index_t v) { return v > 100; }));
+}
+
+// -- iterator algebra laws ---------------------------------------------------------
+
+class AlgebraProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgebraProperty, MapFusionLaw) {
+  // map g . map f == map (g . f)
+  auto xs = random_array(257, static_cast<std::uint64_t>(GetParam()));
+  auto lhs = map(map(from_array(xs), [](double x) { return x + 1; }),
+                 [](double x) { return x * 2; });
+  auto rhs = map(from_array(xs), [](double x) { return (x + 1) * 2; });
+  EXPECT_EQ(to_vector(lhs), to_vector(rhs));
+}
+
+TEST_P(AlgebraProperty, FilterCompositionLaw) {
+  // filter q . filter p == filter (p && q)
+  auto xs = random_array(257, static_cast<std::uint64_t>(GetParam()) + 50);
+  auto lhs = filter(filter(from_array(xs), [](double x) { return x > -2; }),
+                    [](double x) { return x < 2; });
+  auto rhs = filter(from_array(xs),
+                    [](double x) { return x > -2 && x < 2; });
+  EXPECT_EQ(to_vector(lhs), to_vector(rhs));
+}
+
+TEST_P(AlgebraProperty, MapFilterCommutation) {
+  // filter p . map f == map f . filter (p . f)
+  auto xs = random_array(200, static_cast<std::uint64_t>(GetParam()) + 99);
+  auto lhs = filter(map(from_array(xs), [](double x) { return x * x; }),
+                    [](double y) { return y > 1.0; });
+  auto rhs = map(filter(from_array(xs),
+                        [](double x) { return x * x > 1.0; }),
+                 [](double x) { return x * x; });
+  EXPECT_EQ(to_vector(lhs), to_vector(rhs));
+}
+
+TEST_P(AlgebraProperty, ConcatMapSingletonIsMap) {
+  // concat_map (unit . f) == map f
+  auto xs = random_array(100, static_cast<std::uint64_t>(GetParam()) + 7);
+  auto lhs = concat_map(from_array(xs), [](double x) {
+    return map(range(0, 1), [x](index_t) { return x * 3; });
+  });
+  auto rhs = map(from_array(xs), [](double x) { return x * 3; });
+  EXPECT_EQ(to_vector(lhs), to_vector(rhs));
+}
+
+TEST_P(AlgebraProperty, CountEqualsVectorSize) {
+  auto xs = random_array(311, static_cast<std::uint64_t>(GetParam()) + 13);
+  auto it = filter(from_array(xs), [](double x) { return x > 0; });
+  EXPECT_EQ(count(it), static_cast<index_t>(to_vector(it).size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraProperty, ::testing::Range(0, 8));
+
+// -- broadcast and global contexts ---------------------------------------------------
+
+TEST(MapWith, BroadcastContextReachesEveryElement) {
+  std::vector<double> weights{0.5, 1.5, 2.5};
+  auto it = map_with(range(0, 3), weights,
+                     [](const std::vector<double>& w, index_t i) {
+                       return w[static_cast<std::size_t>(i)] * 10;
+                     });
+  EXPECT_DOUBLE_EQ(sum(it), 45.0);
+}
+
+TEST(MapWith, BcastShipsWholeContextOnEverySlice) {
+  std::vector<double> ctx(1000, 1.0);
+  auto it = map_with(range(0, 100), ctx,
+                     [](const std::vector<double>& c, index_t) {
+                       return c[0];
+                     });
+  auto bytes_full = serial::wire_size(it);
+  auto bytes_slice = serial::wire_size(it.slice(Seq{0, 10}));
+  // Slicing a data-free base leaves only the context: sizes stay ~equal.
+  EXPECT_GT(bytes_slice, 8000u);
+  EXPECT_NEAR(static_cast<double>(bytes_slice),
+              static_cast<double>(bytes_full), 64.0);
+}
+
+TEST(GlobalRef, PublishResolveRoundTrip) {
+  auto ref = serial::GlobalRef<std::vector<int>>::publish({1, 2, 3});
+  EXPECT_EQ(ref.get(), (std::vector<int>{1, 2, 3}));
+  auto back = serial::from_bytes<serial::GlobalRef<std::vector<int>>>(
+      serial::to_bytes(ref));
+  EXPECT_EQ(back.get(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(GlobalRef, SerializesAsConstantSize) {
+  auto small = serial::GlobalRef<std::vector<double>>::publish(
+      std::vector<double>(10, 1.0));
+  auto big = serial::GlobalRef<std::vector<double>>::publish(
+      std::vector<double>(100000, 1.0));
+  EXPECT_EQ(serial::wire_size(small), serial::wire_size(big));
+  EXPECT_EQ(serial::wire_size(big), sizeof(serial::segment_id_t));
+}
+
+TEST(GlobalRefDeath, WrongTypeResolutionAborts) {
+  auto ref = serial::GlobalRef<int>::publish(7);
+  EXPECT_DEATH((void)serial::SegmentRegistry::instance().resolve<double>(
+                   ref.id()),
+               "wrong type");
+}
+
+TEST(GlobalRef, MapWithGlobalContextShipsOnlyTheId) {
+  auto table = serial::GlobalRef<std::vector<double>>::publish(
+      std::vector<double>(50000, 2.0));
+  auto it = map_with(range(0, 1000), table,
+                     [](const std::vector<double>& t, index_t i) {
+                       return t[static_cast<std::size_t>(i)];
+                     });
+  EXPECT_DOUBLE_EQ(sum(it), 2000.0);
+  // Task payload: domain + id, not the 400 KB table.
+  EXPECT_LT(serial::wire_size(it.slice(Seq{0, 100})), 128u);
+  // And the deserialized slice still computes.
+  auto sl = it.slice(Seq{100, 200});
+  auto remote = serial::from_bytes<decltype(sl)>(serial::to_bytes(sl));
+  EXPECT_DOUBLE_EQ(sum(remote), 200.0);
+}
+
+// -- Dim3 splitting -----------------------------------------------------------------
+
+TEST(Dim3Split, PartitionCoversExactly) {
+  Dim3 d{0, 8, 0, 12, 0, 10};
+  for (int k : {1, 2, 4, 6, 8}) {
+    auto blocks = split_blocks(d, k);
+    ASSERT_EQ(static_cast<int>(blocks.size()), k);
+    std::set<std::tuple<index_t, index_t, index_t>> seen;
+    for (const auto& b : blocks) {
+      b.for_each([&](Index3 i) {
+        auto [it, fresh] = seen.insert({i.z, i.y, i.x});
+        ASSERT_TRUE(fresh);
+      });
+    }
+    EXPECT_EQ(static_cast<index_t>(seen.size()), d.size());
+  }
+}
+
+TEST(Dim3Split, CubeSplitsIntoCubes) {
+  auto blocks = split_blocks(Dim3{0, 8, 0, 8, 0, 8}, 8);  // expect 2x2x2
+  EXPECT_EQ(blocks[0].size(), 4 * 4 * 4);
+}
+
+TEST(Dim3, IndicesIterateAndSum) {
+  auto it = indices(Dim3{0, 2, 0, 3, 0, 4});
+  EXPECT_EQ(count(it), 24);
+  auto flat = map(it, [](Index3 i) { return i.z * 100 + i.y * 10 + i.x; });
+  index_t manual = 0;
+  for (index_t z = 0; z < 2; ++z)
+    for (index_t y = 0; y < 3; ++y)
+      for (index_t x = 0; x < 4; ++x) manual += z * 100 + y * 10 + x;
+  EXPECT_EQ(sum(flat), manual);
+}
+
+}  // namespace
+}  // namespace triolet::core

@@ -1,0 +1,184 @@
+// Tests for index-space domains: sizes, canonical iteration, ordinals,
+// intersection, and the block-splitting used for work distribution.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/domains.hpp"
+
+namespace triolet::core {
+namespace {
+
+TEST(Seq, SizeAndContains) {
+  Seq d{3, 10};
+  EXPECT_EQ(d.size(), 7);
+  EXPECT_TRUE(d.contains(3));
+  EXPECT_TRUE(d.contains(9));
+  EXPECT_FALSE(d.contains(10));
+  EXPECT_FALSE(d.contains(2));
+}
+
+TEST(Seq, EmptyAndInvertedAreEmpty) {
+  EXPECT_EQ((Seq{5, 5}).size(), 0);
+  EXPECT_EQ((Seq{7, 3}).size(), 0);
+}
+
+TEST(Seq, ForEachVisitsAscending) {
+  Seq d{2, 6};
+  std::vector<index_t> seen;
+  d.for_each([&](index_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<index_t>{2, 3, 4, 5}));
+}
+
+TEST(Seq, OrdinalIsPositionInIterationOrder) {
+  Seq d{10, 20};
+  EXPECT_EQ(d.ordinal(10), 0);
+  EXPECT_EQ(d.ordinal(15), 5);
+}
+
+TEST(Dim2, SizeRowsCols) {
+  Dim2 d{1, 4, 2, 7};
+  EXPECT_EQ(d.rows(), 3);
+  EXPECT_EQ(d.cols(), 5);
+  EXPECT_EQ(d.size(), 15);
+}
+
+TEST(Dim2, ForEachIsRowMajorAndOrdinalAgrees) {
+  Dim2 d{0, 2, 0, 3};
+  std::vector<Index2> seen;
+  d.for_each([&](Index2 i) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen[0], (Index2{0, 0}));
+  EXPECT_EQ(seen[1], (Index2{0, 1}));
+  EXPECT_EQ(seen[3], (Index2{1, 0}));
+  for (std::size_t k = 0; k < seen.size(); ++k) {
+    EXPECT_EQ(d.ordinal(seen[k]), static_cast<index_t>(k));
+  }
+}
+
+TEST(Dim3, SizeAndOrdinalRoundTrip) {
+  Dim3 d{1, 3, 0, 2, 5, 9};
+  EXPECT_EQ(d.size(), 2 * 2 * 4);
+  index_t expected = 0;
+  d.for_each([&](Index3 i) {
+    EXPECT_EQ(d.ordinal(i), expected);
+    ++expected;
+  });
+  EXPECT_EQ(expected, d.size());
+}
+
+TEST(Intersect, SeqOverlap) {
+  Seq r = intersect(Seq{0, 10}, Seq{5, 20});
+  EXPECT_EQ(r, (Seq{5, 10}));
+  EXPECT_EQ(intersect(Seq{0, 3}, Seq{5, 9}).size(), 0);
+}
+
+TEST(Intersect, Dim2Overlap) {
+  Dim2 r = intersect(Dim2{0, 4, 0, 4}, Dim2{2, 6, 1, 3});
+  EXPECT_EQ(r, (Dim2{2, 4, 1, 3}));
+}
+
+TEST(SplitBlocks, SeqCoversWithoutOverlap) {
+  Seq d{0, 100};
+  auto blocks = split_blocks(d, 7);
+  ASSERT_EQ(blocks.size(), 7u);
+  index_t covered = 0;
+  index_t prev_hi = d.lo;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.lo, prev_hi);
+    prev_hi = b.hi;
+    covered += b.size();
+  }
+  EXPECT_EQ(prev_hi, d.hi);
+  EXPECT_EQ(covered, d.size());
+}
+
+TEST(SplitBlocks, SeqBalancesWithinOne) {
+  auto blocks = split_blocks(Seq{0, 100}, 7);
+  for (const auto& b : blocks) {
+    EXPECT_GE(b.size(), 100 / 7);
+    EXPECT_LE(b.size(), 100 / 7 + 1);
+  }
+}
+
+TEST(SplitBlocks, MoreChunksThanElementsYieldsEmpties) {
+  auto blocks = split_blocks(Seq{0, 3}, 5);
+  index_t covered = 0;
+  for (const auto& b : blocks) covered += b.size();
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(SplitBlocks, Dim2PartitionCoversExactly) {
+  Dim2 d{0, 64, 0, 64};
+  for (int k : {1, 2, 4, 8, 16}) {
+    auto blocks = split_blocks(d, k);
+    ASSERT_EQ(static_cast<int>(blocks.size()), k);
+    std::set<std::pair<index_t, index_t>> seen;
+    index_t total = 0;
+    for (const auto& b : blocks) {
+      total += b.size();
+      b.for_each([&](Index2 i) {
+        auto [it, fresh] = seen.insert({i.y, i.x});
+        EXPECT_TRUE(fresh) << "cell covered twice";
+      });
+    }
+    EXPECT_EQ(total, d.size());
+    EXPECT_EQ(static_cast<index_t>(seen.size()), d.size());
+  }
+}
+
+TEST(SplitBlocks, Dim2SquareDomainPrefersSquareGrid) {
+  auto blocks = split_blocks(Dim2{0, 64, 0, 64}, 4);  // expect 2x2
+  EXPECT_EQ(blocks[0].rows(), 32);
+  EXPECT_EQ(blocks[0].cols(), 32);
+}
+
+TEST(SplitBlocks, Dim2TallDomainPrefersRowSplit) {
+  auto blocks = split_blocks(Dim2{0, 1000, 0, 10}, 4);  // expect 4x1
+  EXPECT_EQ(blocks[0].cols(), 10);
+  EXPECT_EQ(blocks[0].rows(), 250);
+}
+
+TEST(SplitGrain, ChunksRespectGrain) {
+  auto chunks = split_grain(Seq{5, 47}, 10);
+  index_t covered = 0;
+  for (const auto& c : chunks) {
+    EXPECT_LE(c.size(), 10);
+    covered += c.size();
+  }
+  EXPECT_EQ(covered, 42);
+  EXPECT_EQ(chunks.front().lo, 5);
+  EXPECT_EQ(chunks.back().hi, 47);
+}
+
+TEST(SplitGrain, EmptyDomainYieldsOneEmptyChunk) {
+  auto chunks = split_grain(Seq{5, 5}, 10);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size(), 0);
+}
+
+// Parameterized coverage property over many (size, parts) combinations.
+class SeqSplitProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SeqSplitProperty, PartitionIsExact) {
+  auto [n, k] = GetParam();
+  auto blocks = split_blocks(Seq{0, n}, k);
+  index_t covered = 0;
+  index_t prev = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.lo, prev);
+    prev = b.hi;
+    covered += b.size();
+  }
+  EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SeqSplitProperty,
+    ::testing::Combine(::testing::Values(0, 1, 7, 100, 1023),
+                       ::testing::Values(1, 2, 3, 8, 128)));
+
+}  // namespace
+}  // namespace triolet::core

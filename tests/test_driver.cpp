@@ -1,0 +1,171 @@
+// Tests for the benchmark driver: the two-level and flat-farm trace
+// builders must show the qualitative behaviors the figures rely on
+// (speedup with cores, communication saturation, master bottleneck,
+// buffer-capacity failure, prep parallelization).
+
+#include <gtest/gtest.h>
+
+#include "apps/driver.hpp"
+
+namespace triolet::apps {
+namespace {
+
+MeasuredSystem uniform_system(index_t units, double unit_seconds) {
+  MeasuredSystem ms;
+  ms.name = "test";
+  ms.unit_seconds.assign(static_cast<std::size_t>(units), unit_seconds);
+  ms.input_bytes = [](index_t lo, index_t hi) { return (hi - lo) * 100; };
+  return ms;
+}
+
+TEST(Driver, OneNodeOneCoreIsSequentialTime) {
+  auto ms = uniform_system(128, 1e-3);
+  auto pt = simulate_point(ms, 1, 1);
+  EXPECT_NEAR(pt.seconds, 0.128, 1e-9);
+  EXPECT_EQ(pt.cores, 1);
+}
+
+TEST(Driver, ComputeBoundWorkScalesNearLinearly) {
+  auto ms = uniform_system(1024, 1e-3);  // ~1s of work, tiny messages
+  double t1 = simulate_point(ms, 1, 1).seconds;
+  double t16 = simulate_point(ms, 1, 16).seconds;
+  double t128 = simulate_point(ms, 8, 16).seconds;
+  EXPECT_NEAR(t1 / t16, 16.0, 0.5);
+  EXPECT_GT(t1 / t128, 90.0);
+}
+
+TEST(Driver, HeavyMessagesCauseSaturation) {
+  auto ms = uniform_system(1024, 1e-5);  // ~10ms of work
+  ms.input_bytes = [](index_t, index_t) {
+    return std::int64_t{20'000'000};  // 20 MB per node: 16ms on the wire
+  };
+  double t1 = simulate_point(ms, 1, 16).seconds;
+  double t8 = simulate_point(ms, 8, 16).seconds;
+  // More nodes should NOT approach 8x once transfers dominate.
+  EXPECT_GT(t8, t1);
+}
+
+TEST(Driver, StaticSchedulingSuffersOnSkewedUnits) {
+  MeasuredSystem dyn = uniform_system(256, 1e-4);
+  // Strong front-loaded skew (like tpacf's triangular loops).
+  for (std::size_t i = 0; i < 64; ++i) dyn.unit_seconds[i] = 2e-3;
+  MeasuredSystem sta = dyn;
+  sta.static_sched = true;
+  double td = simulate_point(dyn, 1, 16).seconds;
+  double ts = simulate_point(sta, 1, 16).seconds;
+  EXPECT_LT(td, ts);
+}
+
+TEST(Driver, FlatFarmMasterIsABottleneck) {
+  auto two = uniform_system(1024, 1e-4);
+  auto flat = two;
+  flat.flat = true;
+  flat.input_bytes = [](index_t lo, index_t hi) { return (hi - lo) * 5000; };
+  two.input_bytes = flat.input_bytes;
+  double t_two = simulate_point(two, 8, 16).seconds;
+  double t_flat = simulate_point(flat, 8, 16).seconds;
+  // 127 worker messages through one master beats 7 node messages? Never.
+  EXPECT_GT(t_flat, t_two);
+}
+
+TEST(Driver, BufferCapacityFailsLargeConfigs) {
+  auto ms = uniform_system(1024, 1e-4);
+  ms.flat = true;
+  ms.input_bytes = [](index_t, index_t) { return std::int64_t{1'000'000}; };
+  ms.buffer_capacity = 40'000'000;  // 40 workers' worth
+  EXPECT_FALSE(simulate_point(ms, 1, 16).failed());   // 15 workers: fits
+  EXPECT_TRUE(simulate_point(ms, 4, 16).failed());    // 63 workers: overflow
+}
+
+TEST(Driver, ParallelizablePrepShrinksWithCores) {
+  auto a = uniform_system(256, 1e-5);
+  a.root_prep_seconds = 0.1;
+  auto b = a;
+  b.prep_parallelizable = true;
+  double ta = simulate_point(a, 1, 16).seconds;
+  double tb = simulate_point(b, 1, 16).seconds;
+  EXPECT_GT(ta, tb + 0.08);  // serial prep keeps ~0.1s, parallel ~6ms
+}
+
+TEST(Driver, AllocMultiplierChargesSender) {
+  auto a = uniform_system(256, 1e-5);
+  a.input_bytes = [](index_t, index_t) { return std::int64_t{10'000'000}; };
+  auto b = a;
+  b.net.alloc_multiplier = 4.0;
+  double ta = simulate_point(a, 8, 16).seconds;
+  double tb = simulate_point(b, 8, 16).seconds;
+  EXPECT_GT(tb, ta);
+}
+
+TEST(Driver, StragglersSlowTheFlatFarm) {
+  auto a = uniform_system(1024, 1e-4);
+  a.flat = true;
+  auto b = a;
+  b.straggler = {0.1, 4.0, 99};
+  double ta = simulate_point(a, 4, 16).seconds;
+  double tb = simulate_point(b, 4, 16).seconds;
+  EXPECT_GT(tb, ta);
+}
+
+TEST(Driver, StandardMachinePointsCoverPaperAxis) {
+  auto pts = standard_machine_points(8, 16);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_EQ(pts.front(), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(pts.back(), (std::pair<int, int>{8, 16}));
+  // Includes full single node and multiples of 2 nodes.
+  bool has_16 = false, has_128 = false;
+  for (auto [n, c] : pts) {
+    if (n == 1 && c == 16) has_16 = true;
+    if (n * c == 128) has_128 = true;
+  }
+  EXPECT_TRUE(has_16);
+  EXPECT_TRUE(has_128);
+}
+
+TEST(Driver, RunSeriesProducesMonotoneCores) {
+  auto ms = uniform_system(128, 1e-4);
+  auto series = run_series(ms, 8, 16);
+  for (std::size_t i = 1; i < series.points.size(); ++i) {
+    EXPECT_GT(series.points[i].cores, series.points[i - 1].cores);
+  }
+}
+
+TEST(Driver, SimulationIsDeterministicForFixedMeasurements) {
+  MeasuredSystem ms = uniform_system(512, 1e-4);
+  for (std::size_t i = 0; i < ms.unit_seconds.size(); ++i) {
+    ms.unit_seconds[i] *= 1.0 + 0.3 * static_cast<double>(i % 7);
+  }
+  ms.straggler = {0.05, 3.0, 42};
+  ms.flat = true;
+  auto a = run_series(ms, 8, 16);
+  auto b = run_series(ms, 8, 16);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].seconds, b.points[i].seconds) << i;
+  }
+}
+
+TEST(Driver, CyclicSchedulingBeatsBlockOnRamps) {
+  MeasuredSystem blockd = uniform_system(256, 1e-4);
+  for (std::size_t i = 0; i < blockd.unit_seconds.size(); ++i) {
+    blockd.unit_seconds[i] = 1e-4 * static_cast<double>(256 - i);  // ramp
+  }
+  blockd.static_sched = true;
+  MeasuredSystem cyc = blockd;
+  cyc.cyclic_sched = true;
+  double tb = simulate_point(blockd, 1, 16).seconds;
+  double tc = simulate_point(cyc, 1, 16).seconds;
+  EXPECT_LT(tc, tb);
+}
+
+TEST(Driver, MeasureUnitsReturnsPositiveDurations) {
+  auto ts = measure_units(16, [](index_t) {
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  });
+  ASSERT_EQ(ts.size(), 16u);
+  for (double t : ts) EXPECT_GT(t, 0.0);
+}
+
+}  // namespace
+}  // namespace triolet::apps

@@ -1,0 +1,96 @@
+// Tests for the second extension batch: Eden list operations, associative-
+// container serialization, vector<bool> framing, and the mri-q phiMag
+// pre-kernel.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "apps/mriq.hpp"
+#include "eden/list.hpp"
+#include "serial/serialize.hpp"
+
+namespace triolet {
+namespace {
+
+using eden::List;
+
+TEST(EdenListOps, Append) {
+  auto a = List<int>::from_vector({1, 2});
+  auto b = List<int>::from_vector({3, 4, 5});
+  EXPECT_EQ(eden::append(a, b).to_vector(), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(eden::append(List<int>{}, b).to_vector(),
+            (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(eden::append(a, List<int>{}).to_vector(), (std::vector<int>{1, 2}));
+}
+
+TEST(EdenListOps, Reverse) {
+  auto xs = List<int>::from_vector({1, 2, 3});
+  EXPECT_EQ(eden::reverse(xs).to_vector(), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(eden::reverse(eden::reverse(xs)).to_vector(), xs.to_vector());
+}
+
+TEST(EdenListOps, TakeDrop) {
+  auto xs = List<int>::from_vector({1, 2, 3, 4, 5});
+  EXPECT_EQ(eden::take(2, xs).to_vector(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(eden::take(99, xs).to_vector(), xs.to_vector());
+  EXPECT_EQ(eden::drop(2, xs).to_vector(), (std::vector<int>{3, 4, 5}));
+  EXPECT_TRUE(eden::drop(99, xs).empty());
+  // take n ++ drop n == id
+  EXPECT_EQ(eden::append(eden::take(3, xs), eden::drop(3, xs)).to_vector(),
+            xs.to_vector());
+}
+
+TEST(EdenListOps, ConcatAndReplicate) {
+  auto xss = List<List<int>>::from_vector(
+      {List<int>::from_vector({1}), List<int>{},
+       List<int>::from_vector({2, 3})});
+  EXPECT_EQ(eden::concat(xss).to_vector(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eden::replicate(4, 7).to_vector(), (std::vector<int>{7, 7, 7, 7}));
+}
+
+TEST(SerialMaps, MapRoundTrips) {
+  std::map<std::string, std::vector<int>> m{
+      {"a", {1, 2}}, {"bb", {}}, {"c", {3}}};
+  auto back = serial::from_bytes<decltype(m)>(serial::to_bytes(m));
+  EXPECT_EQ(back, m);
+}
+
+TEST(SerialMaps, UnorderedMapRoundTripsAndIsDeterministic) {
+  std::unordered_map<int, double> m{{5, 1.5}, {1, 2.5}, {9, -1.0}};
+  auto bytes1 = serial::to_bytes(m);
+  // Rebuild with a different insertion order; wire form must be identical.
+  std::unordered_map<int, double> m2;
+  m2.emplace(9, -1.0);
+  m2.emplace(5, 1.5);
+  m2.emplace(1, 2.5);
+  EXPECT_EQ(bytes1, serial::to_bytes(m2));
+  EXPECT_EQ(serial::from_bytes<decltype(m)>(bytes1), m);
+}
+
+TEST(SerialVectorBool, RoundTrips) {
+  std::vector<bool> v{true, false, false, true, true};
+  EXPECT_EQ(serial::from_bytes<std::vector<bool>>(serial::to_bytes(v)), v);
+  EXPECT_EQ(serial::wire_size(v), 8u + v.size());
+  std::vector<bool> empty;
+  EXPECT_EQ(serial::from_bytes<std::vector<bool>>(serial::to_bytes(empty)),
+            empty);
+}
+
+TEST(MriqPhiMag, MatchesScalarFormula) {
+  std::vector<float> re{1.0f, 0.5f, -2.0f};
+  std::vector<float> im{0.0f, 0.5f, 1.0f};
+  auto mag = apps::mriq_phi_mag(re, im);
+  ASSERT_EQ(mag.size(), 3u);
+  EXPECT_FLOAT_EQ(mag[0], 1.0f);
+  EXPECT_FLOAT_EQ(mag[1], 0.5f);
+  EXPECT_FLOAT_EQ(mag[2], 5.0f);
+}
+
+TEST(MriqPhiMagDeath, MismatchedInputsAbort) {
+  EXPECT_DEATH((void)apps::mriq_phi_mag({1.0f}, {1.0f, 2.0f}), "mismatch");
+}
+
+}  // namespace
+}  // namespace triolet

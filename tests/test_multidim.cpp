@@ -1,0 +1,159 @@
+// Multidimensional iteration: ordinal-range walkers (the §3.3 fix for
+// flattening overhead), 2D/3D builders, and block-materialization
+// properties.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/triolet.hpp"
+#include "support/rng.hpp"
+
+namespace triolet::core {
+namespace {
+
+// -- for_ordinal_range equivalence: must visit exactly the indices whose
+//    ordinals fall in [a, b), in canonical order, for every domain shape.
+
+template <typename D>
+void expect_ordinal_walk_matches(D dom) {
+  // Reference: enumerate all indices in canonical order.
+  std::vector<IndexOf<D>> all;
+  dom.for_each([&](IndexOf<D> i) { all.push_back(i); });
+  ASSERT_EQ(static_cast<index_t>(all.size()), dom.size());
+
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    index_t a = static_cast<index_t>(rng.below(
+        static_cast<std::uint64_t>(dom.size() + 1)));
+    index_t b = a + static_cast<index_t>(rng.below(
+        static_cast<std::uint64_t>(dom.size() - a + 1)));
+    std::vector<IndexOf<D>> walked;
+    for_ordinal_range(dom, a, b, [&](IndexOf<D> i) { walked.push_back(i); });
+    ASSERT_EQ(static_cast<index_t>(walked.size()), b - a) << a << ".." << b;
+    for (index_t k = 0; k < b - a; ++k) {
+      ASSERT_EQ(walked[static_cast<std::size_t>(k)],
+                all[static_cast<std::size_t>(a + k)])
+          << "ordinal " << a + k;
+    }
+  }
+}
+
+TEST(OrdinalWalk, SeqMatchesEnumeration) {
+  expect_ordinal_walk_matches(Seq{3, 40});
+}
+
+TEST(OrdinalWalk, Dim2MatchesEnumeration) {
+  expect_ordinal_walk_matches(Dim2{2, 9, 5, 13});
+  expect_ordinal_walk_matches(Dim2{0, 1, 0, 17});   // single row
+  expect_ordinal_walk_matches(Dim2{0, 17, 0, 1});   // single column
+}
+
+TEST(OrdinalWalk, Dim3MatchesEnumeration) {
+  expect_ordinal_walk_matches(Dim3{1, 4, 2, 5, 0, 6});
+  expect_ordinal_walk_matches(Dim3{0, 1, 0, 1, 0, 9});  // degenerate line
+}
+
+TEST(OrdinalWalk, EmptyRangeVisitsNothing) {
+  int visits = 0;
+  for_ordinal_range(Dim2{0, 4, 0, 4}, 7, 7, [&](Index2) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+// -- builders ---------------------------------------------------------------------
+
+TEST(Build3, FillsAnOriginVolume) {
+  auto it = map(indices(Dim3{0, 3, 0, 4, 0, 5}), [](Index3 i) {
+    return static_cast<float>(i.z * 100 + i.y * 10 + i.x);
+  });
+  auto vol = build_array3(it);
+  EXPECT_EQ(vol.dim_z(), 3);
+  EXPECT_EQ(vol.dim_y(), 4);
+  EXPECT_EQ(vol.dim_x(), 5);
+  EXPECT_FLOAT_EQ(vol(2, 3, 4), 234.0f);
+  EXPECT_FLOAT_EQ(vol(0, 0, 0), 0.0f);
+}
+
+TEST(Build3, ParallelMatchesSequential) {
+  auto mk = [](ParHint h) {
+    return build_array3(with_hint(
+        map(indices(Dim3{0, 8, 0, 9, 0, 10}),
+            [](Index3 i) { return i.z * 1000 + i.y * 50 + i.x; }),
+        h));
+  };
+  EXPECT_EQ(mk(ParHint::kSeq), mk(ParHint::kLocal));
+}
+
+TEST(Build2, ParallelBlockFillMatchesSeqOnOddShapes) {
+  for (index_t h : {1, 7, 33}) {
+    for (index_t w : {1, 5, 31}) {
+      auto mk = [&](ParHint hint) {
+        return build_block2(with_hint(
+            map(indices(Dim2{0, h, 0, w}),
+                [](Index2 i) { return i.y * 1000 + i.x; }),
+            hint));
+      };
+      auto a = mk(ParHint::kSeq);
+      auto b = mk(ParHint::kLocal);
+      ASSERT_EQ(a.data, b.data) << h << "x" << w;
+    }
+  }
+}
+
+TEST(Build2, SubBlockKeepsGlobalAddressing) {
+  auto it = map(indices(Dim2{3, 7, 10, 14}),
+                [](Index2 i) { return i.y * 100 + i.x; });
+  auto block = build_block2(it);
+  EXPECT_EQ(block.at(Index2{5, 12}), 512);
+  EXPECT_EQ(block.at(Index2{3, 10}), 310);
+}
+
+// -- 2D parallel reductions through the ordinal walker ------------------------------
+
+TEST(MultiDim, LocalparSum2DMatchesSeq) {
+  Xoshiro256 rng(23);
+  Array2<double> m(67, 41);
+  for (index_t y = 0; y < 67; ++y)
+    for (index_t x = 0; x < 41; ++x) m(y, x) = rng.uniform();
+  auto expr = map_with(indices(Dim2{0, 67, 0, 41}), m,
+                       [](const Array2<double>& src, Index2 i) {
+                         return src(i.y, i.x) * 2.0;
+                       });
+  EXPECT_NEAR(sum(localpar(expr)), sum(expr), 1e-9);
+}
+
+TEST(MultiDim, Histogram3DCells) {
+  auto it = map(indices(Dim3{0, 4, 0, 4, 0, 4}),
+                [](Index3 i) { return (i.z + i.y + i.x) % 5; });
+  auto h = histogram(5, localpar(it));
+  std::int64_t total = 0;
+  for (index_t b = 0; b < 5; ++b) total += h[b];
+  EXPECT_EQ(total, 64);
+}
+
+// -- outerproduct structure ----------------------------------------------------------
+
+TEST(MultiDim, OuterProductValuesAreRowPairs) {
+  Array2<float> a(3, 4, 1.0f), b(5, 4, 2.0f);
+  auto z = outerproduct(rows(a), rows(b));
+  EXPECT_EQ(z.domain(), (Dim2{0, 3, 0, 5}));
+  auto uv = z.at(Index2{1, 3});
+  EXPECT_EQ(uv.first.size(), 4u);
+  EXPECT_EQ(uv.second.size(), 4u);
+  EXPECT_FLOAT_EQ(uv.first[0], 1.0f);
+  EXPECT_FLOAT_EQ(uv.second[0], 2.0f);
+}
+
+TEST(MultiDim, OuterProductSumEqualsProductOfSums) {
+  // sum over (y, x) of u[y0]*v[x0]-style separable values factorizes.
+  Array1<double> u(0, {1, 2, 3});
+  Array1<double> v(0, {4, 5});
+  auto z = outerproduct(
+      map(from_array(u), [](double x) { return x; }),
+      map(from_array(v), [](double x) { return x; }));
+  double s = sum(map(z, [](const auto& p) { return p.first * p.second; }));
+  EXPECT_DOUBLE_EQ(s, (1 + 2 + 3) * (4 + 5));
+}
+
+}  // namespace
+}  // namespace triolet::core

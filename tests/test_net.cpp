@@ -1,0 +1,242 @@
+// Tests for the message-passing substrate: point-to-point semantics,
+// wildcard matching, collectives, failure propagation (bounded buffers,
+// aborts), checksums, and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+
+#include "net/cluster.hpp"
+
+namespace triolet::net {
+namespace {
+
+TEST(Cluster, SingleRankRuns) {
+  std::atomic<int> ran{0};
+  auto res = Cluster::run(1, [&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ran.fetch_add(1);
+  });
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Cluster, PointToPointDeliversTypedValues) {
+  auto res = Cluster::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 5, std::vector<int>{1, 2, 3});
+    } else {
+      auto v = c.recv<std::vector<int>>(0, 5);
+      EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, TagMatchingIsSelective) {
+  auto res = Cluster::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, /*tag=*/7, 70);
+      c.send(1, /*tag=*/8, 80);
+    } else {
+      // Receive out of arrival order by tag.
+      EXPECT_EQ(c.recv<int>(0, 8), 80);
+      EXPECT_EQ(c.recv<int>(0, 7), 70);
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, SameTagIsFifoPerPair) {
+  auto res = Cluster::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 20; ++i) c.send(1, 3, i);
+    } else {
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(c.recv<int>(0, 3), i);
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, AnySourceWildcardReceivesFromAll) {
+  auto res = Cluster::run(4, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::multiset<int> got;
+      for (int i = 0; i < 3; ++i) {
+        got.insert(c.recv<int>(kAnySource, 1));
+      }
+      EXPECT_EQ(got, (std::multiset<int>{10, 20, 30}));
+    } else {
+      c.send(0, 1, c.rank() * 10);
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, BarrierSynchronizesPhases) {
+  // Every rank increments a phase counter, barriers, then checks that all
+  // increments of the previous phase are visible.
+  std::atomic<int> counter{0};
+  const int ranks = 4;
+  auto res = Cluster::run(ranks, [&](Comm& c) {
+    for (int phase = 1; phase <= 3; ++phase) {
+      counter.fetch_add(1);
+      c.barrier();
+      EXPECT_GE(counter.load(), phase * ranks);
+      c.barrier();
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, BroadcastReachesAllRanks) {
+  auto res = Cluster::run(4, [](Comm& c) {
+    std::vector<double> v;
+    if (c.rank() == 0) v = {1.5, 2.5, 3.5};
+    c.broadcast(v, 0);
+    EXPECT_EQ(v, (std::vector<double>{1.5, 2.5, 3.5}));
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, GatherCollectsByRank) {
+  auto res = Cluster::run(4, [](Comm& c) {
+    auto all = c.gather(c.rank() * 2, 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<int>{0, 2, 4, 6}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, ScatterHandsOutPerRankItems) {
+  auto res = Cluster::run(3, [](Comm& c) {
+    std::vector<std::string> items;
+    if (c.rank() == 0) items = {"a", "b", "c"};
+    auto mine = c.scatter(items, 0);
+    std::string expect(1, static_cast<char>('a' + c.rank()));
+    EXPECT_EQ(mine, expect);
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, ReduceFoldsInRankOrder) {
+  auto res = Cluster::run(4, [](Comm& c) {
+    // Non-commutative op: string concatenation exposes ordering.
+    std::string mine(1, static_cast<char>('A' + c.rank()));
+    auto r = c.reduce(mine, [](std::string a, std::string b) { return a + b; }, 0);
+    if (c.rank() == 0) EXPECT_EQ(r, "ABCD");
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, AllreduceGivesEveryRankTheTotal) {
+  auto res = Cluster::run(4, [](Comm& c) {
+    auto total =
+        c.allreduce(c.rank() + 1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(total, 10);
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST(Cluster, BoundedBufferRejectsOversizedMessage) {
+  // Models Eden's failure on sgemm: "the array data is too large for Eden's
+  // message-passing runtime to buffer" (paper §4.3).
+  ClusterOptions opts;
+  opts.max_message_bytes = 64;
+  auto res = Cluster::run(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          c.send(1, 1, std::vector<double>(1000, 1.0));
+        } else {
+          (void)c.recv<std::vector<double>>(0, 1);
+        }
+      },
+      opts);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("buffer"), std::string::npos);
+}
+
+TEST(Cluster, PeerFailureUnblocksWaitingRanks) {
+  auto res = Cluster::run(3, [](Comm& c) {
+    if (c.rank() == 1) {
+      throw std::runtime_error("rank 1 exploded");
+    }
+    if (c.rank() == 2) {
+      // Blocks forever unless the abort wakes it.
+      (void)c.recv<int>(1, 9);
+    }
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.error, "rank 1 exploded");
+}
+
+TEST(Cluster, StatsCountMessagesAndBytes) {
+  auto res = Cluster::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<std::int32_t>(100, 7));
+    } else {
+      (void)c.recv<std::vector<std::int32_t>>(0, 1);
+    }
+  });
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.total_stats.messages_sent, 1);
+  EXPECT_EQ(res.total_stats.messages_received, 1);
+  // 8-byte length header + 400 payload bytes.
+  EXPECT_EQ(res.total_stats.bytes_sent, 408);
+  EXPECT_EQ(res.total_stats.bytes_received, 408);
+}
+
+TEST(Mailbox, TryPopMatchesWithoutBlocking) {
+  Mailbox mb;
+  Message out;
+  EXPECT_FALSE(mb.try_pop_match(kAnySource, kAnyTag, out));
+  Message m;
+  m.src = 2;
+  m.tag = 4;
+  mb.push(m);
+  EXPECT_FALSE(mb.try_pop_match(1, kAnyTag, out));
+  EXPECT_TRUE(mb.try_pop_match(2, 4, out));
+  EXPECT_EQ(mb.size(), 0u);
+}
+
+// Parameterized: collectives agree with a serial reference at many widths.
+class ClusterWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterWidth, AllreduceSumMatchesFormula) {
+  const int p = GetParam();
+  auto res = Cluster::run(p, [&](Comm& c) {
+    auto total = c.allreduce(static_cast<std::int64_t>(c.rank()),
+                             [](std::int64_t a, std::int64_t b) { return a + b; });
+    EXPECT_EQ(total, static_cast<std::int64_t>(p) * (p - 1) / 2);
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+TEST_P(ClusterWidth, RingPassesTokenAround) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "ring needs >= 2 ranks";
+  auto res = Cluster::run(p, [&](Comm& c) {
+    int r = c.rank();
+    if (r == 0) {
+      c.send(1 % p, 0, 1);
+      int token = c.recv<int>(p - 1, 0);
+      EXPECT_EQ(token, p);
+    } else {
+      int token = c.recv<int>(r - 1, 0);
+      c.send((r + 1) % p, 0, token + 1);
+    }
+  });
+  EXPECT_TRUE(res.ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ClusterWidth, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace triolet::net

@@ -1,0 +1,283 @@
+// Tests for the work-stealing runtime: deque semantics (including a
+// multithreaded steal hammer), pool fork-join, parallel_for coverage,
+// parallel_reduce determinism, nesting, and per-thread storage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/ws_deque.hpp"
+
+namespace triolet::runtime {
+namespace {
+
+TEST(WsDeque, LifoForOwner) {
+  WsDeque<int*> d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  int* out = nullptr;
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, &c);
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, &b);
+  ASSERT_TRUE(d.pop(out));
+  EXPECT_EQ(out, &a);
+  EXPECT_FALSE(d.pop(out));
+}
+
+TEST(WsDeque, FifoForThief) {
+  WsDeque<int*> d;
+  int a = 1, b = 2;
+  d.push(&a);
+  d.push(&b);
+  int* out = nullptr;
+  ASSERT_TRUE(d.steal(out));
+  EXPECT_EQ(out, &a);  // thief takes oldest
+  ASSERT_TRUE(d.steal(out));
+  EXPECT_EQ(out, &b);
+  EXPECT_FALSE(d.steal(out));
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  WsDeque<std::int64_t*> d(4);
+  std::vector<std::int64_t> vals(1000);
+  for (auto& v : vals) d.push(&v);
+  EXPECT_EQ(d.size_approx(), 1000);
+  std::int64_t* out = nullptr;
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_TRUE(d.pop(out));
+    EXPECT_EQ(out, &vals[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(WsDeque, ConcurrentStealsLoseNothingAndDuplicateNothing) {
+  // Owner pushes/pops while 3 thieves steal; every element must be consumed
+  // exactly once across all consumers.
+  constexpr int kN = 20000;
+  WsDeque<std::int64_t*> d;
+  std::vector<std::int64_t> items(kN);
+  for (int i = 0; i < kN; ++i) items[static_cast<size_t>(i)] = i;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> stolen_sum{0};
+  std::atomic<std::int64_t> stolen_count{0};
+
+  auto thief = [&] {
+    std::int64_t* p = nullptr;
+    while (!done.load(std::memory_order_acquire)) {
+      if (d.steal(p)) {
+        stolen_sum.fetch_add(*p);
+        stolen_count.fetch_add(1);
+      }
+    }
+    while (d.steal(p)) {
+      stolen_sum.fetch_add(*p);
+      stolen_count.fetch_add(1);
+    }
+  };
+  std::thread t1(thief), t2(thief), t3(thief);
+
+  std::int64_t own_sum = 0, own_count = 0;
+  for (int i = 0; i < kN; ++i) d.push(&items[static_cast<size_t>(i)]);
+  std::int64_t* p = nullptr;
+  while (d.pop(p)) {
+    own_sum += *p;
+    ++own_count;
+  }
+  done.store(true, std::memory_order_release);
+  t1.join();
+  t2.join();
+  t3.join();
+
+  EXPECT_EQ(own_count + stolen_count.load(), kN);
+  EXPECT_EQ(own_sum + stolen_sum.load(),
+            static_cast<std::int64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  TaskGroup g;
+  for (int i = 0; i < 100; ++i) {
+    pool.submit(g, [&] { ran.fetch_add(1); });
+  }
+  pool.wait(g);
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(g.pending(), 0);
+}
+
+TEST(ThreadPool, WorkerIndexVisibleInsideTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> bad{0};
+  TaskGroup g;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(g, [&] {
+      // Tasks run either on a pool worker (index in [0, size)) or on the
+      // external waiting thread, which helps with index -1.
+      int w = ThreadPool::current_worker();
+      if (w < -1 || w >= 2) bad.fetch_add(1);
+    });
+  }
+  pool.wait(g);
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(ThreadPool::current_worker(), -1);  // external thread
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  TaskGroup outer;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(outer, [&] {
+      TaskGroup inner;
+      for (int j = 0; j < 10; ++j) {
+        pool.submit(inner, [&] { ran.fetch_add(1); });
+      }
+      pool.wait(inner);
+    });
+  }
+  pool.wait(outer);
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr index_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, 7, [&](index_t a, index_t b) {
+    for (index_t i = a; i < b; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (index_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](index_t, index_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, RespectsGrainAsLowerBoundOnChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  std::atomic<index_t> smallest{1 << 30};
+  parallel_for(pool, 0, 1000, 100, [&](index_t a, index_t b) {
+    chunks.fetch_add(1);
+    index_t sz = b - a;
+    index_t cur = smallest.load();
+    while (sz < cur && !smallest.compare_exchange_weak(cur, sz)) {
+    }
+  });
+  EXPECT_LE(chunks.load(), 16);  // 1000/100 -> at most ~16 chunks after splits
+  EXPECT_GE(smallest.load(), 50);  // halving never undershoots grain/2
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  constexpr index_t kN = 100000;
+  auto r = parallel_reduce(
+      pool, 0, kN, 0, std::int64_t{0},
+      [](index_t a, index_t b, std::int64_t acc) {
+        for (index_t i = a; i < b; ++i) acc += i;
+        return acc;
+      },
+      [](std::int64_t x, std::int64_t y) { return x + y; });
+  EXPECT_EQ(r, kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, FloatingPointResultIsSchedulingIndependent) {
+  // Partials combine in chunk order, so two runs agree bitwise.
+  ThreadPool pool(4);
+  auto run = [&] {
+    return parallel_reduce(
+        pool, 0, 50000, 64, 0.0,
+        [](index_t a, index_t b, double acc) {
+          for (index_t i = a; i < b; ++i)
+            acc += 1.0 / (1.0 + static_cast<double>(i));
+          return acc;
+        },
+        [](double x, double y) { return x + y; });
+  };
+  double r1 = run();
+  for (int rep = 0; rep < 5; ++rep) {
+    ASSERT_EQ(run(), r1) << "rep " << rep;
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  auto r = parallel_reduce(
+      pool, 3, 3, 0, 42,
+      [](index_t, index_t, int acc) { return acc + 1; },
+      [](int x, int y) { return x + y; });
+  EXPECT_EQ(r, 42);
+}
+
+TEST(ParallelInvoke, RunsBothBranches) {
+  ThreadPool pool(2);
+  std::atomic<int> a{0}, b{0};
+  parallel_invoke(pool, [&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(PerThread, SlotsAreDisjointPerWorker) {
+  ThreadPool pool(4);
+  PerThread<std::int64_t> acc(pool, 0);
+  parallel_for(pool, 0, 100000, 10, [&](index_t a, index_t b) {
+    acc.local() += (b - a);
+  });
+  std::int64_t total = 0;
+  for (auto v : acc.slots()) total += v;
+  EXPECT_EQ(total, 100000);
+}
+
+TEST(PerThread, ExternalThreadUsesOverflowSlot) {
+  ThreadPool pool(2);
+  PerThread<int> acc(pool, 0);
+  acc.local() = 9;  // calling thread is not a pool worker
+  EXPECT_EQ(acc.slots().back(), 9);
+}
+
+TEST(AutoGrain, ProducesReasonableChunking) {
+  EXPECT_GE(auto_grain(0, 4), 1);
+  EXPECT_GE(auto_grain(1, 4), 1);
+  EXPECT_EQ(auto_grain(3200, 4), 100);  // 8 chunks per worker
+  EXPECT_GE(auto_grain(10, 128), 1);
+}
+
+// Parameterized stress: correctness at several pool widths.
+class PoolWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolWidth, ReduceMatchesSerialAcrossWidths) {
+  ThreadPool pool(GetParam());
+  auto r = parallel_reduce(
+      pool, 0, 9999, 0, std::int64_t{0},
+      [](index_t a, index_t b, std::int64_t acc) {
+        for (index_t i = a; i < b; ++i) acc += i * i;
+        return acc;
+      },
+      [](std::int64_t x, std::int64_t y) { return x + y; });
+  std::int64_t expect = 0;
+  for (index_t i = 0; i < 9999; ++i) expect += i * i;
+  EXPECT_EQ(r, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PoolWidth, ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace triolet::runtime

@@ -1,0 +1,213 @@
+// Tests for the cluster simulator: trace replay semantics (compute, message
+// latency/bandwidth, NIC serialization, FIFO matching, deadlock detection)
+// and the intra-node schedulers and straggler model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace triolet::sim {
+namespace {
+
+NetworkModel simple_net() {
+  NetworkModel n;
+  n.latency = 1.0;        // big round numbers: results checkable by hand
+  n.bandwidth = 100.0;    // bytes per second
+  n.fixed_overhead = 0.0;
+  n.copy_cost_per_byte = 0.0;
+  return n;
+}
+
+TEST(Simulate, ComputeOnlyMakespanIsMaxOverRanks) {
+  SimTrace t(3);
+  t.compute(0, 1.0);
+  t.compute(1, 5.0);
+  t.compute(2, 2.0);
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(r.rank_finish[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 5.0);
+}
+
+TEST(Simulate, MessageArrivesAfterLatencyPlusTransfer) {
+  SimTrace t(2);
+  t.send(0, 1, 200);  // 1s latency + 2s transfer
+  t.recv(1, 0);
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.total_bytes, 200.0);
+}
+
+TEST(Simulate, ReceiverWaitsForComputeToFinishFirst) {
+  SimTrace t(2);
+  t.send(0, 1, 100);   // arrives at t=2
+  t.compute(1, 10.0);  // receiver busy until t=10
+  t.recv(1, 0);
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 10.0);  // message already waiting
+}
+
+TEST(Simulate, SenderNicSerializesBackToBackMessages) {
+  // Two 200-byte messages from rank 0: the second transfer cannot start
+  // until the first leaves the NIC, so arrivals are 3s and 5s.
+  SimTrace t(3);
+  t.send(0, 1, 200);
+  t.send(0, 2, 200);
+  t.recv(1, 0);
+  t.recv(2, 0);
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.rank_finish[2], 5.0);
+}
+
+TEST(Simulate, SendBusyCostsChargeTheSender) {
+  NetworkModel n = simple_net();
+  n.fixed_overhead = 0.5;
+  n.copy_cost_per_byte = 0.01;
+  n.alloc_multiplier = 2.0;
+  SimTrace t(2);
+  t.send(0, 1, 100);  // sender busy: 0.5 + 100*0.01*2 = 2.5
+  t.recv(1, 0);
+  auto r = simulate(t, n);
+  EXPECT_DOUBLE_EQ(r.rank_finish[0], 2.5);
+  // arrival = 2.5 + 1 latency + 1 transfer; recv busy = 0.5 + 100*0.01*2
+  // (deserialization allocates, so the allocator model applies there too).
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 4.5 + 2.5);
+}
+
+TEST(Simulate, FifoMatchingBetweenPairs) {
+  SimTrace t(2);
+  t.send(0, 1, 100);
+  t.compute(0, 50.0);
+  t.send(0, 1, 100);
+  t.recv(1, 0);  // must match the first (t=2), not the second
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 2.0);
+}
+
+TEST(Simulate, RecvBeforeSendInProgramOrderStillResolves) {
+  // Rank 1 posts its recv "first"; the fixpoint loop must complete it once
+  // rank 0's send is simulated.
+  SimTrace t(2);
+  t.recv(1, 0);
+  t.compute(0, 7.0);
+  t.send(0, 1, 100);
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.rank_finish[1], 9.0);
+}
+
+TEST(Simulate, PingPongAccumulatesLatency) {
+  SimTrace t(2);
+  t.send(0, 1, 0);
+  t.recv(1, 0);
+  t.send(1, 0, 0);
+  t.recv(0, 1);
+  auto r = simulate(t, simple_net());
+  EXPECT_DOUBLE_EQ(r.rank_finish[0], 2.0);  // two 1s-latency hops
+}
+
+TEST(SimulateDeath, DeadlockIsDetected) {
+  SimTrace t(2);
+  t.recv(0, 1);
+  t.recv(1, 0);
+  EXPECT_DEATH((void)simulate(t, simple_net()), "deadlock");
+}
+
+TEST(Simulate, MasterBottleneckGrowsWithWorkers) {
+  // A flat farm: master sends 1000 bytes to each worker. With NIC
+  // serialization, the last worker's arrival grows linearly — the Eden
+  // master bottleneck the paper's two-level distribution avoids.
+  auto last_arrival = [&](int workers) {
+    SimTrace t(workers + 1);
+    for (int w = 1; w <= workers; ++w) t.send(0, w, 1000);
+    for (int w = 1; w <= workers; ++w) t.recv(w, 0);
+    return simulate(t, simple_net()).makespan;
+  };
+  double a4 = last_arrival(4);
+  double a8 = last_arrival(8);
+  EXPECT_GT(a8, a4 + 30.0);  // each extra message adds 10s transfer
+}
+
+TEST(Schedulers, SingleWorkerIsTotalWork) {
+  std::vector<double> tasks{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(makespan_dynamic(tasks, 1), 10.0);
+  EXPECT_DOUBLE_EQ(makespan_static_block(tasks, 1), 10.0);
+  EXPECT_DOUBLE_EQ(makespan_lpt(tasks, 1), 10.0);
+  EXPECT_DOUBLE_EQ(total_work(tasks), 10.0);
+}
+
+TEST(Schedulers, DynamicBalancesUnevenTasks) {
+  // One long task plus many short ones: dynamic overlaps them.
+  std::vector<double> tasks{8, 1, 1, 1, 1, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(makespan_dynamic(tasks, 2), 8.0);
+  // Static contiguous blocks put the long task plus neighbors together.
+  EXPECT_GT(makespan_static_block(tasks, 2), 8.0 + 2.0);
+}
+
+TEST(Schedulers, MakespanBounds) {
+  // List scheduling is within 2x of the trivial lower bounds.
+  std::vector<double> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back(1.0 + (i % 7));
+  for (int w : {1, 2, 4, 16}) {
+    double m = makespan_dynamic(tasks, w);
+    double lower = std::max(total_work(tasks) / w, 7.0);
+    EXPECT_GE(m, lower);
+    EXPECT_LE(m, 2.0 * lower);
+  }
+}
+
+TEST(Schedulers, LptNeverWorseThanArrivalOrder) {
+  std::vector<double> tasks{9, 1, 1, 7, 2, 2, 5, 3};
+  for (int w : {2, 3, 4}) {
+    EXPECT_LE(makespan_lpt(tasks, w), makespan_dynamic(tasks, w) + 1e-12);
+  }
+}
+
+TEST(Stragglers, DisabledModelIsIdentity) {
+  StragglerModel m;  // probability 0
+  std::vector<double> tasks{1, 2, 3};
+  EXPECT_EQ(m.apply(tasks, 1), tasks);
+}
+
+TEST(Stragglers, AreDeterministicPerSalt) {
+  StragglerModel m{0.3, 4.0, 42};
+  std::vector<double> tasks(100, 1.0);
+  auto a = m.apply(tasks, 7);
+  auto b = m.apply(tasks, 7);
+  EXPECT_EQ(a, b);
+  auto c = m.apply(tasks, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Stragglers, HitRateTracksProbability) {
+  StragglerModel m{0.25, 4.0, 123};
+  std::vector<double> tasks(10000, 1.0);
+  auto out = m.apply(tasks, 1);
+  int slowed = 0;
+  for (double d : out) slowed += (d > 1.5);
+  EXPECT_NEAR(slowed / 10000.0, 0.25, 0.03);
+}
+
+TEST(NetworkModel, AllocThresholdGatesMultiplier) {
+  NetworkModel n;
+  n.fixed_overhead = 0.0;
+  n.copy_cost_per_byte = 1.0;
+  n.alloc_multiplier = 3.0;
+  n.alloc_threshold_bytes = 100;
+  EXPECT_DOUBLE_EQ(n.send_busy(10), 10.0);    // small message: no GC cost
+  EXPECT_DOUBLE_EQ(n.send_busy(100), 300.0);  // at threshold: multiplied
+  EXPECT_DOUBLE_EQ(n.recv_busy(200), 600.0);
+}
+
+TEST(MachineConfig, TotalCores) {
+  MachineConfig m;
+  m.nodes = 8;
+  m.cores_per_node = 16;
+  EXPECT_EQ(m.total_cores(), 128);
+}
+
+}  // namespace
+}  // namespace triolet::sim

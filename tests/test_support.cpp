@@ -1,0 +1,147 @@
+// Unit tests for src/support: RNG determinism and distributions, timing
+// statistics, and the table/chart reporters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+
+namespace triolet {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformIsInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BelowStaysBelow) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, NormalHasUnitVariance) {
+  Xoshiro256 rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(TimingStats, SummarizesOddCount) {
+  auto st = summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(st.min, 1.0);
+  EXPECT_DOUBLE_EQ(st.median, 2.0);
+  EXPECT_DOUBLE_EQ(st.max, 3.0);
+  EXPECT_DOUBLE_EQ(st.mean, 2.0);
+  EXPECT_EQ(st.samples, 3);
+}
+
+TEST(TimingStats, SummarizesEvenCount) {
+  auto st = summarize({4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(st.median, 2.5);
+}
+
+TEST(TimingStats, TimeFnRunsRequestedRepeats) {
+  int calls = 0;
+  auto st = time_fn([&] { ++calls; }, 4, 2);
+  EXPECT_EQ(calls, 6);  // 2 warmups + 4 timed
+  EXPECT_EQ(st.samples, 4);
+  EXPECT_GE(st.min, 0.0);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(sw.nanos(), 0);
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+}
+
+TEST(AsciiChart, RendersAllSeriesGlyphs) {
+  AsciiChart chart(40, 10);
+  chart.add({"linear", 'L', {1, 2, 4}, {1, 2, 4}});
+  chart.add({"flat", 'F', {1, 2, 4}, {1, 1, 1}});
+  std::string s = chart.str();
+  EXPECT_NE(s.find('L'), std::string::npos);
+  EXPECT_NE(s.find('F'), std::string::npos);
+  EXPECT_NE(s.find("legend"), std::string::npos);
+}
+
+TEST(AsciiChart, SkipsNaNPoints) {
+  AsciiChart chart(40, 10);
+  chart.add({"eden", 'E', {1, 2}, {1.0, std::nan("")}});
+  std::string s = chart.str();  // must not crash; NaN point absent
+  EXPECT_NE(s.find('E'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace triolet
