@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multidim.dir/ablation_multidim.cpp.o"
+  "CMakeFiles/ablation_multidim.dir/ablation_multidim.cpp.o.d"
+  "ablation_multidim"
+  "ablation_multidim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multidim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

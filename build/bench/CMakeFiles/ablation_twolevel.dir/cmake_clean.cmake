@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twolevel.dir/ablation_twolevel.cpp.o"
+  "CMakeFiles/ablation_twolevel.dir/ablation_twolevel.cpp.o.d"
+  "ablation_twolevel"
+  "ablation_twolevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twolevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

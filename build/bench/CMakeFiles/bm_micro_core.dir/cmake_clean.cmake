@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_micro_core.dir/bm_micro_core.cpp.o"
+  "CMakeFiles/bm_micro_core.dir/bm_micro_core.cpp.o.d"
+  "bm_micro_core"
+  "bm_micro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_micro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

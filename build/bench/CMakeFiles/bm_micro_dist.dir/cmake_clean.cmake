@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_micro_dist.dir/bm_micro_dist.cpp.o"
+  "CMakeFiles/bm_micro_dist.dir/bm_micro_dist.cpp.o.d"
+  "bm_micro_dist"
+  "bm_micro_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_micro_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_micro_net.dir/bm_micro_net.cpp.o"
+  "CMakeFiles/bm_micro_net.dir/bm_micro_net.cpp.o.d"
+  "bm_micro_net"
+  "bm_micro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_micro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

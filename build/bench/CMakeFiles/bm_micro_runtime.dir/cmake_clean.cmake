@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_micro_runtime.dir/bm_micro_runtime.cpp.o"
+  "CMakeFiles/bm_micro_runtime.dir/bm_micro_runtime.cpp.o.d"
+  "bm_micro_runtime"
+  "bm_micro_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_micro_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

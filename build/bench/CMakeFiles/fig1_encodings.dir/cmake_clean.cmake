@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_encodings.dir/fig1_encodings.cpp.o"
+  "CMakeFiles/fig1_encodings.dir/fig1_encodings.cpp.o.d"
+  "fig1_encodings"
+  "fig1_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

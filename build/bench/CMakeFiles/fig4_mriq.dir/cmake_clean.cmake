@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mriq.dir/fig4_mriq.cpp.o"
+  "CMakeFiles/fig4_mriq.dir/fig4_mriq.cpp.o.d"
+  "fig4_mriq"
+  "fig4_mriq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mriq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_mriq.
+# This may be replaced when dependencies are built.

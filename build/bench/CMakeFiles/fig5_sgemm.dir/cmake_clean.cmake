@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sgemm.dir/fig5_sgemm.cpp.o"
+  "CMakeFiles/fig5_sgemm.dir/fig5_sgemm.cpp.o.d"
+  "fig5_sgemm"
+  "fig5_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

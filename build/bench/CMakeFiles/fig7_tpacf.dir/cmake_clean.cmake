@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tpacf.dir/fig7_tpacf.cpp.o"
+  "CMakeFiles/fig7_tpacf.dir/fig7_tpacf.cpp.o.d"
+  "fig7_tpacf"
+  "fig7_tpacf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tpacf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cutcp.dir/fig8_cutcp.cpp.o"
+  "CMakeFiles/fig8_cutcp.dir/fig8_cutcp.cpp.o.d"
+  "fig8_cutcp"
+  "fig8_cutcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cutcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

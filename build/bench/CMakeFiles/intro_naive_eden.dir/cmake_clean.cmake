@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_naive_eden.dir/intro_naive_eden.cpp.o"
+  "CMakeFiles/intro_naive_eden.dir/intro_naive_eden.cpp.o.d"
+  "intro_naive_eden"
+  "intro_naive_eden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_naive_eden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutcp_potential.dir/cutcp_potential.cpp.o"
+  "CMakeFiles/cutcp_potential.dir/cutcp_potential.cpp.o.d"
+  "cutcp_potential"
+  "cutcp_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutcp_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

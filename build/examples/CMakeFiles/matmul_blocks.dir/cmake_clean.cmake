@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_blocks.dir/matmul_blocks.cpp.o"
+  "CMakeFiles/matmul_blocks.dir/matmul_blocks.cpp.o.d"
+  "matmul_blocks"
+  "matmul_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

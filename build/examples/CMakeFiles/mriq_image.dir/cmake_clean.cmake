@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mriq_image.dir/mriq_image.cpp.o"
+  "CMakeFiles/mriq_image.dir/mriq_image.cpp.o.d"
+  "mriq_image"
+  "mriq_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mriq_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpacf_correlation.dir/tpacf_correlation.cpp.o"
+  "CMakeFiles/tpacf_correlation.dir/tpacf_correlation.cpp.o.d"
+  "tpacf_correlation"
+  "tpacf_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpacf_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

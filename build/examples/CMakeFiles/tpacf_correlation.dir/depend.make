@@ -1,0 +1,2 @@
+# Empty dependencies file for tpacf_correlation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cutcp.cpp" "src/CMakeFiles/triolet.dir/apps/cutcp.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/apps/cutcp.cpp.o.d"
+  "/root/repo/src/apps/driver.cpp" "src/CMakeFiles/triolet.dir/apps/driver.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/apps/driver.cpp.o.d"
+  "/root/repo/src/apps/mriq.cpp" "src/CMakeFiles/triolet.dir/apps/mriq.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/apps/mriq.cpp.o.d"
+  "/root/repo/src/apps/sgemm.cpp" "src/CMakeFiles/triolet.dir/apps/sgemm.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/apps/sgemm.cpp.o.d"
+  "/root/repo/src/apps/tpacf.cpp" "src/CMakeFiles/triolet.dir/apps/tpacf.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/apps/tpacf.cpp.o.d"
+  "/root/repo/src/core/domains.cpp" "src/CMakeFiles/triolet.dir/core/domains.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/core/domains.cpp.o.d"
+  "/root/repo/src/eden/slowmath.cpp" "src/CMakeFiles/triolet.dir/eden/slowmath.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/eden/slowmath.cpp.o.d"
+  "/root/repo/src/net/cluster.cpp" "src/CMakeFiles/triolet.dir/net/cluster.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/net/cluster.cpp.o.d"
+  "/root/repo/src/net/comm.cpp" "src/CMakeFiles/triolet.dir/net/comm.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/net/comm.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "src/CMakeFiles/triolet.dir/net/mailbox.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/net/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/parallel.cpp" "src/CMakeFiles/triolet.dir/runtime/parallel.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/runtime/parallel.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/triolet.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/serial/serial.cpp" "src/CMakeFiles/triolet.dir/serial/serial.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/serial/serial.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/triolet.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/triolet.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/triolet.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/triolet.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/timing.cpp" "src/CMakeFiles/triolet.dir/support/timing.cpp.o" "gcc" "src/CMakeFiles/triolet.dir/support/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

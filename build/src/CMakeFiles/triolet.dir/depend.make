@@ -1,0 +1,2 @@
+# Empty dependencies file for triolet.
+# This may be replaced when dependencies are built.

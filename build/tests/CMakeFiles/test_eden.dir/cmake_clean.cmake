@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eden.dir/test_eden.cpp.o"
+  "CMakeFiles/test_eden.dir/test_eden.cpp.o.d"
+  "test_eden"
+  "test_eden.pdb"
+  "test_eden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encodings.dir/test_encodings.cpp.o"
+  "CMakeFiles/test_encodings.dir/test_encodings.cpp.o.d"
+  "test_encodings"
+  "test_encodings.pdb"
+  "test_encodings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

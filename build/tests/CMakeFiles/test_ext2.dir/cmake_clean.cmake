@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ext2.dir/test_ext2.cpp.o"
+  "CMakeFiles/test_ext2.dir/test_ext2.cpp.o.d"
+  "test_ext2"
+  "test_ext2.pdb"
+  "test_ext2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ext2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

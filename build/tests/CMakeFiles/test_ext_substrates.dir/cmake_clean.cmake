@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ext_substrates.dir/test_ext_substrates.cpp.o"
+  "CMakeFiles/test_ext_substrates.dir/test_ext_substrates.cpp.o.d"
+  "test_ext_substrates"
+  "test_ext_substrates.pdb"
+  "test_ext_substrates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ext_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
