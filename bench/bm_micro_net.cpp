@@ -63,7 +63,7 @@ void BM_Net_Allreduce(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 16);
 }
-BENCHMARK(BM_Net_Allreduce)->Arg(2)->Arg(8);
+BENCHMARK(BM_Net_Allreduce)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_Net_Barrier(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
@@ -75,7 +75,7 @@ void BM_Net_Barrier(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_Net_Barrier)->Arg(4);
+BENCHMARK(BM_Net_Barrier)->Arg(4)->Arg(16)->Arg(32);
 
 }  // namespace
 

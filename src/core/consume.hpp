@@ -80,6 +80,83 @@ auto sum(const It& it) {
   return reduce(it, T{}, [](T a, const T& b) { return a + b; });
 }
 
+/// Generalized fold whose accumulator type differs from the element type:
+/// `fold(acc, v)` absorbs one element, `combine(x, y)` merges two partial
+/// accumulators (`init` must be an identity of `combine`). Parallel hints
+/// use the chunked pool reduction; partials combine in ascending chunk
+/// order, so the result is deterministic for a fixed grain.
+template <typename It, typename T, typename Fold, typename Combine>
+T fold_reduce(const It& it, T init, Fold fold, Combine combine) {
+  static_assert(is_iter_v<It>);
+  if constexpr (detail::parallelizable_v<It>) {
+    if (it.hint != ParHint::kSeq) {
+      auto& pool = runtime::current_pool();
+      return runtime::parallel_reduce(
+          pool, 0, it.size(), 0, init,
+          [&](index_t a, index_t b, T acc) {
+            visit_ordinals(it, a, b, [&](auto&& v) {
+              acc = fold(std::move(acc), v);
+            });
+            return acc;
+          },
+          [&](T x, T y) { return combine(std::move(x), std::move(y)); });
+    }
+  }
+  T acc = std::move(init);
+  visit(it, [&](auto&& v) { acc = fold(std::move(acc), v); });
+  return acc;
+}
+
+/// Smallest element as an optional (empty iterator -> nullopt). The
+/// optional doubles as the identity, which lets parallel chunks and
+/// distributed nodes with empty slices participate in the reduction.
+template <typename It>
+auto minimum_partial(const It& it) {
+  using T = typename It::value_type;
+  return fold_reduce(
+      it, std::optional<T>{},
+      [](std::optional<T> acc, const T& v) {
+        if (!acc || v < *acc) acc = v;
+        return acc;
+      },
+      [](std::optional<T> a, std::optional<T> b) {
+        if (!a) return b;
+        if (!b) return a;
+        return *b < *a ? b : a;
+      });
+}
+
+/// Largest element as an optional (empty iterator -> nullopt).
+template <typename It>
+auto maximum_partial(const It& it) {
+  using T = typename It::value_type;
+  return fold_reduce(
+      it, std::optional<T>{},
+      [](std::optional<T> acc, const T& v) {
+        if (!acc || *acc < v) acc = v;
+        return acc;
+      },
+      [](std::optional<T> a, std::optional<T> b) {
+        if (!a) return b;
+        if (!b) return a;
+        return *a < *b ? b : a;
+      });
+}
+
+/// (sum, count) pair for averaging; the zero pair is the identity.
+template <typename It>
+std::pair<double, index_t> average_partial(const It& it) {
+  using P = std::pair<double, index_t>;
+  return fold_reduce(
+      it, P{0.0, 0},
+      [](P acc, const auto& v) {
+        acc.first += static_cast<double>(v);
+        acc.second += 1;
+        return acc;
+      },
+      [](P a, P b) { return P{a.first + b.first, a.second + b.second}; });
+}
+
 /// Number of elements (after any filtering / nesting).
 template <typename It>
 index_t count(const It& it) {
@@ -87,39 +164,29 @@ index_t count(const It& it) {
                 [](index_t a, index_t b) { return a + b; });
 }
 
-/// Smallest element (iterator must be non-empty).
+/// Smallest element (iterator must be non-empty). Parallel hints run the
+/// threaded chunked reduction, like sum.
 template <typename It>
 auto minimum(const It& it) {
-  using T = typename It::value_type;
-  std::optional<T> best;
-  visit(it, [&](const T& v) {
-    if (!best || v < *best) best = v;
-  });
+  auto best = minimum_partial(it);
   TRIOLET_CHECK(best.has_value(), "minimum of an empty iterator");
   return *best;
 }
 
-/// Largest element (iterator must be non-empty).
+/// Largest element (iterator must be non-empty). Parallel hints run the
+/// threaded chunked reduction, like sum.
 template <typename It>
 auto maximum(const It& it) {
-  using T = typename It::value_type;
-  std::optional<T> best;
-  visit(it, [&](const T& v) {
-    if (!best || *best < v) best = v;
-  });
+  auto best = maximum_partial(it);
   TRIOLET_CHECK(best.has_value(), "maximum of an empty iterator");
   return *best;
 }
 
 /// Arithmetic mean of the elements as double (0.0 for an empty iterator).
+/// Parallel hints run the threaded chunked reduction, like sum.
 template <typename It>
 double average(const It& it) {
-  double acc = 0.0;
-  index_t n = 0;
-  visit(it, [&](const auto& v) {
-    acc += static_cast<double>(v);
-    ++n;
-  });
+  auto [acc, n] = average_partial(it);
   return n == 0 ? 0.0 : acc / static_cast<double>(n);
 }
 

@@ -11,7 +11,11 @@
 //   2. Every node re-hints its chunk to `localpar` and runs the threaded
 //      consumer from core/consume.hpp: work-stealing threads with private
 //      per-thread accumulators.
-//   3. Per-node partial results are combined at the root in rank order.
+//   3. Per-node partial results are combined along net::Comm's binomial
+//      reduce tree: each interior node merges two contiguous-rank partials,
+//      so the root's combine work and received bytes are O(log P) instead
+//      of O(P) (deterministic fixed-tree order; see docs/INTERNALS.md
+//      "Collective algorithms").
 //
 // Iterator construction happens only at the root: callers pass a `make`
 // callable invoked on rank 0, so non-root ranks never need the input data —
@@ -28,7 +32,6 @@ namespace triolet::dist {
 using core::index_t;
 
 inline constexpr int kTagTask = 100;
-inline constexpr int kTagBlock = 101;
 
 /// Per-node threaded runtime. Each SPMD rank constructs one of these at the
 /// top of its body: the rank gets a private work-stealing pool (its "cores")
@@ -86,14 +89,12 @@ template <typename MakeIter>
 auto minimum(net::Comm& comm, MakeIter&& make) {
   using T = typename decltype(make())::value_type;
   auto local = detail::scatter_chunks(comm, make);
-  // Per-node minimum over a possibly-empty chunk: carry an optional.
-  std::optional<T> part;
-  core::visit(local, [&](const T& v) {
-    if (!part || v < *part) part = v;
-  });
+  // Per-node threaded minimum over a possibly-empty chunk: the optional
+  // carries "no elements" through both the thread pool and the reduce tree.
+  std::optional<T> part = core::minimum_partial(local);
   auto combined = comm.reduce(
       part,
-      [](std::optional<T> a, const std::optional<T>& b) {
+      [](std::optional<T> a, std::optional<T> b) {
         if (!a) return b;
         if (!b) return a;
         return *b < *a ? b : a;
@@ -109,13 +110,10 @@ template <typename MakeIter>
 auto maximum(net::Comm& comm, MakeIter&& make) {
   using T = typename decltype(make())::value_type;
   auto local = detail::scatter_chunks(comm, make);
-  std::optional<T> part;
-  core::visit(local, [&](const T& v) {
-    if (!part || *part < v) part = v;
-  });
+  std::optional<T> part = core::maximum_partial(local);
   auto combined = comm.reduce(
       part,
-      [](std::optional<T> a, const std::optional<T>& b) {
+      [](std::optional<T> a, std::optional<T> b) {
         if (!a) return b;
         if (!b) return a;
         return *a < *b ? b : a;
@@ -130,15 +128,10 @@ auto maximum(net::Comm& comm, MakeIter&& make) {
 template <typename MakeIter>
 double average(net::Comm& comm, MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
-  double acc = 0;
-  index_t n = 0;
-  core::visit(local, [&](const auto& v) {
-    acc += static_cast<double>(v);
-    ++n;
-  });
+  auto part = core::average_partial(local);
   auto combined = comm.reduce(
-      std::pair<double, index_t>{acc, n},
-      [](std::pair<double, index_t> a, const std::pair<double, index_t>& b) {
+      part,
+      [](std::pair<double, index_t> a, std::pair<double, index_t> b) {
         return std::pair<double, index_t>{a.first + b.first,
                                           a.second + b.second};
       },
@@ -157,52 +150,58 @@ index_t count(net::Comm& comm, MakeIter&& make) {
   return comm.reduce(partial, [](index_t a, index_t b) { return a + b; }, 0);
 }
 
+namespace detail {
+
+/// Elementwise-sum combiner for partial histograms/grids. Applied at each
+/// interior node of the reduce tree, so partial arrays merge pairwise down
+/// log2(P) levels instead of all P accumulating at the root.
+template <typename A>
+A sum_arrays(A a, const A& b) {
+  TRIOLET_CHECK(a.size() == b.size(), "partial histogram size mismatch");
+  auto* pa = a.data();
+  const auto* pb = b.data();
+  const index_t n = a.size();
+  for (index_t i = 0; i < n; ++i) pa[i] += pb[i];
+  return a;
+}
+
+}  // namespace detail
+
 /// Distributed integer histogram: one threaded histogram per node, partial
-/// histograms summed at the root ("a distributed reduction, which performs
-/// one threaded reduction per node, which sequentially builds one histogram
-/// per thread", §3.4).
+/// histograms combined along the reduce tree ("a distributed reduction,
+/// which performs one threaded reduction per node, which sequentially
+/// builds one histogram per thread", §3.4).
 template <typename MakeIter>
 Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
                                MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
   Array1<std::int64_t> partial = core::histogram(nbins, local);
-  return comm.reduce(partial, [](Array1<std::int64_t> a,
-                                 const Array1<std::int64_t>& b) {
-    for (index_t i = 0; i < a.size(); ++i) a[i] += b[i];
-    return a;
-  }, 0);
+  return comm.reduce(partial, detail::sum_arrays<Array1<std::int64_t>>, 0);
 }
 
 /// Distributed floating-point histogram (cutcp's pattern). The output-grid
-/// summation at the root is the communication cost that dominates cutcp's
-/// scaling (paper §4.5).
+/// summation dominates cutcp's scaling (paper §4.5); combining partial
+/// grids pairwise along the binomial reduce tree caps the root's share at
+/// ceil(log2 P) grid receives + sums instead of P-1.
 template <typename F, typename MakeIter>
 Array1<F> float_histogram(net::Comm& comm, index_t ncells, MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
   Array1<F> partial = core::float_histogram<F>(ncells, local);
-  return comm.reduce(partial, [](Array1<F> a, const Array1<F>& b) {
-    for (index_t i = 0; i < a.size(); ++i) a[i] += b[i];
-    return a;
-  }, 0);
+  return comm.reduce(partial, detail::sum_arrays<Array1<F>>, 0);
 }
 
 /// Distributed materialization of a 1D indexer: node chunks are built with
-/// threads and gathered at the root, which reassembles the full array.
+/// threads, gathered along the binomial tree, and block-copied into place
+/// at the root. Each part is a contiguous base-offset-tagged range, so
+/// assembly is one std::copy per part (the serializer already moves the
+/// payload as one block for trivially copyable V).
 template <typename MakeIter>
 auto build_array1(net::Comm& comm, MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
   using V = typename decltype(local)::value_type;
   Array1<V> part = core::build_array1(local);
-  if (comm.rank() != 0) {
-    comm.send(0, kTagBlock, part);
-    return Array1<V>{};
-  }
-  // Rank 0 assembles: its own part plus one per peer, all base-offset tagged.
-  std::vector<Array1<V>> parts;
-  parts.push_back(std::move(part));
-  for (int r = 1; r < comm.size(); ++r) {
-    parts.push_back(comm.recv<Array1<V>>(r, kTagBlock));
-  }
+  std::vector<Array1<V>> parts = comm.gather(part, 0);
+  if (comm.rank() != 0) return Array1<V>{};
   index_t lo = parts.front().lo(), hi = parts.front().hi();
   for (const auto& p : parts) {
     lo = std::min(lo, p.lo());
@@ -210,7 +209,8 @@ auto build_array1(net::Comm& comm, MakeIter&& make) {
   }
   Array1<V> out(lo, std::vector<V>(static_cast<std::size_t>(hi - lo)));
   for (const auto& p : parts) {
-    for (index_t i = p.lo(); i < p.hi(); ++i) out[i] = p[i];
+    std::copy_n(p.data(), static_cast<std::size_t>(p.size()),
+                out.data() + (p.lo() - lo));
   }
   return out;
 }
@@ -226,15 +226,8 @@ auto build_array2(net::Comm& comm, MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
   using V = typename decltype(local)::value_type;
   core::Block2<V> block = core::build_block2(local);
-  if (comm.rank() != 0) {
-    comm.send(0, kTagBlock, block);
-    return Array2<V>{};
-  }
-  std::vector<core::Block2<V>> blocks;
-  blocks.push_back(std::move(block));
-  for (int r = 1; r < comm.size(); ++r) {
-    blocks.push_back(comm.recv<core::Block2<V>>(r, kTagBlock));
-  }
+  std::vector<core::Block2<V>> blocks = comm.gather(block, 0);
+  if (comm.rank() != 0) return Array2<V>{};
   core::Dim2 full{};
   bool first = true;
   for (const auto& b : blocks) {
@@ -251,8 +244,16 @@ auto build_array2(net::Comm& comm, MakeIter&& make) {
   TRIOLET_CHECK(full.x0 == 0, "build_array2 needs a full-width 2D domain");
   Array2<V> out(full.y0, full.rows(), full.cols(), std::vector<V>(
       static_cast<std::size_t>(full.size())));
+  // Blocks are row-major over their own domain: copy one contiguous row
+  // segment at a time instead of indexing element by element.
   for (const auto& b : blocks) {
-    b.dom.for_each([&](core::Index2 i) { out(i.y, i.x) = b.at(i); });
+    const index_t bw = b.dom.cols();
+    if (bw == 0) continue;
+    for (index_t y = b.dom.y0; y < b.dom.y1; ++y) {
+      const V* src = b.data.data() +
+                     static_cast<std::size_t>((y - b.dom.y0) * bw);
+      std::copy_n(src, static_cast<std::size_t>(bw), &out(y, b.dom.x0));
+    }
   }
   return out;
 }

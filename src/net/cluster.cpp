@@ -33,10 +33,7 @@ ClusterResult Cluster::run(int nranks, const std::function<void(Comm&)>& body,
       state.abort_all();
     }
     std::lock_guard<std::mutex> lock(result_mu);
-    result.total_stats.messages_sent += comm.stats().messages_sent;
-    result.total_stats.bytes_sent += comm.stats().bytes_sent;
-    result.total_stats.messages_received += comm.stats().messages_received;
-    result.total_stats.bytes_received += comm.stats().bytes_received;
+    result.total_stats += comm.stats();
   };
 
   std::vector<std::thread> threads;

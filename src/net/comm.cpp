@@ -24,6 +24,11 @@ void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
   m.checksum = serial::checksum(payload);
   stats_.messages_sent += 1;
   stats_.bytes_sent += static_cast<std::int64_t>(payload.size());
+  if (active_collective_ >= 0) {
+    auto& c = stats_.collectives[static_cast<std::size_t>(active_collective_)];
+    c.messages_sent += 1;
+    c.bytes_sent += static_cast<std::int64_t>(payload.size());
+  }
   m.payload = std::move(payload);
   state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
 }
@@ -35,6 +40,11 @@ Message Comm::recv_message(int src, int tag) {
                 "message payload failed checksum validation");
   stats_.messages_received += 1;
   stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  if (active_collective_ >= 0) {
+    auto& c = stats_.collectives[static_cast<std::size_t>(active_collective_)];
+    c.messages_received += 1;
+    c.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  }
   return m;
 }
 
@@ -66,18 +76,41 @@ Comm::Group Comm::split(int color) {
 }
 
 void Comm::barrier() {
-  // Gather empty tokens at rank 0, then release everyone.
-  struct Token {};
-  if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) {
-      (void)recv_message(r, kTagBarrierUp);
-    }
-    for (int r = 1; r < size(); ++r) {
-      send_bytes(r, kTagBarrierDown, {});
+  // Dissemination barrier: after round r every rank has (transitively)
+  // heard from the 2^(r+1) ranks behind it, so ceil(log2 P) rounds release
+  // everyone — no rank is a bottleneck.
+  CollectiveScope scope(*this, Collective::kBarrier);
+  const int p = size();
+  int round = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++round) {
+    send_bytes((rank_ + dist) % p, kTagBarrier + round, {});
+    (void)recv_message((rank_ - dist + p) % p, kTagBarrier + round);
+  }
+}
+
+void Comm::bcast_bytes(std::vector<std::byte>& bytes, int root, int tag_base) {
+  // Binomial tree: the subtree rooted at virtual rank v spans
+  // [v, v + lowest_set_bit(v)); parents forward to children at decreasing
+  // power-of-two offsets, so every rank sends at most ceil(log2 P) times.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1, round = 0;
+  if (vrank != 0) {
+    for (; mask < p; mask <<= 1, ++round) {
+      if (vrank & mask) {
+        Message m = recv_message(world_of(vrank - mask, root),
+                                 tag_base + round);
+        bytes = std::move(m.payload);
+        break;
+      }
     }
   } else {
-    send_bytes(0, kTagBarrierUp, {});
-    (void)recv_message(0, kTagBarrierDown);
+    for (; mask < p; mask <<= 1) ++round;
+  }
+  for (mask >>= 1, --round; mask > 0; mask >>= 1, --round) {
+    if (vrank + mask < p) {
+      send_bytes(world_of(vrank + mask, root), tag_base + round, bytes);
+    }
   }
 }
 

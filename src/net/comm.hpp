@@ -3,11 +3,28 @@
 // Communicator: the MPI-analogue endpoint each SPMD rank holds.
 //
 // Point-to-point send/recv move serialized byte payloads between per-rank
-// mailboxes; collectives (barrier, broadcast, scatter, gather, reduce,
-// allreduce) are layered on point-to-point with reserved tags, like a
-// minimal MPI implementation. Reductions combine partial results in rank
-// order so floating-point results are bitwise deterministic.
+// mailboxes; collectives are layered on point-to-point with reserved tag
+// bands, like a minimal MPI implementation. All collectives run over
+// logarithmic communication trees (docs/INTERNALS.md "Collective
+// algorithms"):
+//
+//   broadcast / reduce    binomial tree rooted at `root`
+//   gather / scatter      binomial tree moving contiguous subtree bundles
+//   allreduce / allgather recursive doubling, with a fold-in/fold-out step
+//                         for non-power-of-two rank counts
+//   barrier               dissemination (each round r signals rank + 2^r)
+//
+// so the critical path of every collective is O(log P) messages instead of
+// the O(P) a root-centric loop would serialize.
+//
+// Determinism contract: reductions combine partials in a *fixed tree order*
+// (each internal node computes op(lower-rank block, higher-rank block)), so
+// floating-point results are bitwise reproducible run-to-run and, for
+// allreduce, bitwise identical on every rank. The combine *parenthesization*
+// differs from the old linear rank-order fold; `reduce_ordered` keeps the
+// linear left fold for callers that assert the historical rounding.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <functional>
@@ -25,11 +42,64 @@ namespace triolet::net {
 /// User tags must stay below this; larger tags are reserved for collectives.
 inline constexpr int kFirstReservedTag = 1 << 28;
 
+/// Collective kinds tracked by the per-collective traffic counters.
+enum class Collective : int {
+  kBarrier = 0,
+  kBroadcast,
+  kGather,
+  kScatter,
+  kReduce,
+  kAllreduce,
+  kAllgather,
+};
+inline constexpr std::size_t kNumCollectives = 7;
+
+/// Traffic attributed to one collective kind on one rank. Messages a
+/// collective relays on behalf of other ranks (tree forwarding) count here
+/// too, so `messages_sent` of the busiest rank bounds the collective's
+/// critical-path depth.
+struct CollectiveStats {
+  std::int64_t calls = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_received = 0;
+
+  CollectiveStats& operator+=(const CollectiveStats& o) {
+    calls += o.calls;
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+};
+
 struct CommStats {
   std::int64_t messages_sent = 0;
   std::int64_t bytes_sent = 0;
   std::int64_t messages_received = 0;
   std::int64_t bytes_received = 0;
+
+  /// Per-collective breakdown, indexed by Collective. Traffic of a nested
+  /// collective (e.g. the allgather inside split()) is attributed to the
+  /// outermost one.
+  std::array<CollectiveStats, kNumCollectives> collectives{};
+
+  const CollectiveStats& collective(Collective c) const {
+    return collectives[static_cast<std::size_t>(c)];
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    for (std::size_t i = 0; i < kNumCollectives; ++i) {
+      collectives[i] += o.collectives[i];
+    }
+    return *this;
+  }
 };
 
 /// Shared state of one in-process cluster (owned by Cluster, referenced by
@@ -94,55 +164,135 @@ class Comm {
   // -- collectives ------------------------------------------------------------
   // All ranks must call each collective in the same order.
 
+  /// Dissemination barrier: round r signals rank + 2^r (mod P), so every
+  /// rank is released after ceil(log2 P) rounds.
   void barrier();
 
-  /// Root's value is copied to everyone.
+  /// Root's value is copied to everyone down a binomial tree: interior
+  /// ranks forward the serialized payload to their subtree children, so no
+  /// rank sends more than ceil(log2 P) messages.
   template <typename T>
   void broadcast(T& v, int root = 0) {
-    if (rank_ == root) {
-      auto bytes = serial::to_bytes(v);
-      for (int r = 0; r < size(); ++r) {
-        if (r != root) send_bytes(r, kTagBroadcast, bytes);
-      }
-    } else {
-      Message m = recv_message(root, kTagBroadcast);
-      v = serial::from_bytes<T>(m.payload);
-    }
+    CollectiveScope scope(*this, Collective::kBroadcast);
+    if (size() == 1) return;
+    std::vector<std::byte> bytes;
+    if (rank_ == root) bytes = serial::to_bytes(v);
+    bcast_bytes(bytes, root, kTagBroadcast);
+    if (rank_ != root) v = serial::from_bytes<T>(bytes);
   }
 
-  /// Root receives everyone's value, indexed by rank.
+  /// Root receives everyone's value, indexed by rank. Values climb a
+  /// binomial tree as contiguous subtree bundles: the root merges
+  /// ceil(log2 P) bundles instead of accepting P-1 sequential messages.
   template <typename T>
   std::vector<T> gather(const T& v, int root = 0) {
-    if (rank_ == root) {
-      std::vector<T> all(static_cast<std::size_t>(size()));
-      all[static_cast<std::size_t>(root)] = v;
-      for (int r = 0; r < size(); ++r) {
-        if (r != root) all[static_cast<std::size_t>(r)] = recv<T>(r, kTagGather);
+    CollectiveScope scope(*this, Collective::kGather);
+    const int p = size();
+    if (p == 1) return {v};
+    const int vrank = (rank_ - root + p) % p;
+    // `sub` holds values for vranks [vrank, vrank + sub.size()), contiguous.
+    std::vector<T> sub;
+    sub.push_back(v);
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+      if (vrank & mask) {
+        send(world_of(vrank - mask, root), kTagGather + round, sub);
+        return {};
       }
-      return all;
+      if (vrank + mask < p) {
+        auto child = recv<std::vector<T>>(world_of(vrank + mask, root),
+                                          kTagGather + round);
+        sub.insert(sub.end(), std::make_move_iterator(child.begin()),
+                   std::make_move_iterator(child.end()));
+      }
     }
-    send(root, kTagGather, v);
-    return {};
+    // vrank 0 == root: un-rotate from vrank order to world-rank order.
+    std::vector<T> all(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      all[static_cast<std::size_t>((i + root) % p)] =
+          std::move(sub[static_cast<std::size_t>(i)]);
+    }
+    return all;
   }
 
-  /// Root supplies one item per rank; each rank gets its own.
+  /// Root supplies one item per rank; each rank gets its own. Items travel
+  /// down the binomial broadcast tree as subtree bundles that halve at each
+  /// level, so the root sends ceil(log2 P) bundles.
   template <typename T>
   T scatter(const std::vector<T>& items, int root = 0) {
+    CollectiveScope scope(*this, Collective::kScatter);
+    const int p = size();
     if (rank_ == root) {
-      TRIOLET_CHECK(static_cast<int>(items.size()) == size(),
+      TRIOLET_CHECK(static_cast<int>(items.size()) == p,
                     "scatter needs one item per rank");
-      for (int r = 0; r < size(); ++r) {
-        if (r != root) send(r, kTagScatter, items[static_cast<std::size_t>(r)]);
-      }
-      return items[static_cast<std::size_t>(root)];
     }
-    return recv<T>(root, kTagScatter);
+    if (p == 1) return items[0];
+    const int vrank = (rank_ - root + p) % p;
+    // `mine[i]` is the item destined for vrank + i.
+    std::vector<T> mine;
+    int mask = 1, round = 0;
+    if (vrank == 0) {
+      mine.reserve(static_cast<std::size_t>(p));
+      for (int i = 0; i < p; ++i) {
+        mine.push_back(items[static_cast<std::size_t>((i + root) % p)]);
+      }
+      for (; mask < p; mask <<= 1) ++round;
+    } else {
+      for (; mask < p; mask <<= 1, ++round) {
+        if (vrank & mask) {
+          mine = recv<std::vector<T>>(world_of(vrank - mask, root),
+                                      kTagScatter + round);
+          break;
+        }
+      }
+    }
+    for (mask >>= 1, --round; mask > 0; mask >>= 1, --round) {
+      if (vrank + mask < p && static_cast<int>(mine.size()) > mask) {
+        std::vector<T> upper(
+            std::make_move_iterator(mine.begin() + mask),
+            std::make_move_iterator(mine.end()));
+        mine.resize(static_cast<std::size_t>(mask));
+        send(world_of(vrank + mask, root), kTagScatter + round, upper);
+      }
+    }
+    return std::move(mine[0]);
   }
 
-  /// Combines all ranks' values at root, folding in ascending rank order
-  /// (deterministic floating point). Non-root ranks get a default T.
+  /// Combines all ranks' values at root along a binomial tree. Each
+  /// interior node computes op(lower-rank block, higher-rank block) over
+  /// contiguous rank blocks, so the combine tree is fixed and results are
+  /// bitwise deterministic run-to-run (for associative ops it equals the
+  /// linear fold; floating-point parenthesization differs — see
+  /// reduce_ordered). Non-root ranks get a default T.
   template <typename T, typename Op>
   T reduce(const T& v, Op op, int root = 0) {
+    CollectiveScope scope(*this, Collective::kReduce);
+    const int p = size();
+    if (p == 1) return v;
+    const int vrank = (rank_ - root + p) % p;
+    T acc = v;
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+      if (vrank & mask) {
+        send(world_of(vrank - mask, root), kTagReduce + round, acc);
+        return T{};
+      }
+      if (vrank + mask < p) {
+        // acc covers [vrank, vrank+mask); the child covers the block above.
+        acc = op(std::move(acc), recv<T>(world_of(vrank + mask, root),
+                                         kTagReduce + round));
+      }
+    }
+    return acc;
+  }
+
+  /// The pre-tree reduction: a strict left fold in ascending rank order,
+  /// kept for callers that assert the historical floating-point rounding.
+  /// Transport is the tree gather, so the critical path is still
+  /// O(log P) messages, but the root receives all P-1 payloads.
+  template <typename T, typename Op>
+  T reduce_ordered(const T& v, Op op, int root = 0) {
+    CollectiveScope scope(*this, Collective::kReduce);
     std::vector<T> all = gather(v, root);
     if (rank_ != root) return T{};
     T acc = std::move(all[0]);
@@ -152,20 +302,112 @@ class Comm {
     return acc;
   }
 
-  /// reduce + broadcast.
+  /// Recursive-doubling allreduce: ceil(log2 P) pairwise exchange rounds,
+  /// preceded (followed) by a fold-in (fold-out) step when P is not a power
+  /// of two. Every rank combines blocks in the same fixed order, so all
+  /// ranks return bitwise identical results.
   template <typename T, typename Op>
   T allreduce(const T& v, Op op) {
-    T acc = reduce(v, op, 0);
-    broadcast(acc, 0);
+    CollectiveScope scope(*this, Collective::kAllreduce);
+    const int p = size();
+    if (p == 1) return v;
+    int pof2 = 1;
+    while (pof2 * 2 <= p) pof2 *= 2;
+    const int rem = p - pof2;
+    T acc = v;
+    // Fold-in: the first 2*rem ranks collapse pairwise so pof2 stay active.
+    int newrank;
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        send(rank_ + 1, kTagAllreduce + 0, acc);
+        newrank = -1;
+      } else {
+        acc = op(recv<T>(rank_ - 1, kTagAllreduce + 0), std::move(acc));
+        newrank = rank_ / 2;
+      }
+    } else {
+      newrank = rank_ - rem;
+    }
+    int round = 1;
+    if (newrank >= 0) {
+      for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+        const int partner_new = newrank ^ mask;
+        const int partner =
+            partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+        send(partner, kTagAllreduce + round, acc);
+        T other = recv<T>(partner, kTagAllreduce + round);
+        acc = newrank < partner_new ? op(std::move(acc), std::move(other))
+                                    : op(std::move(other), std::move(acc));
+      }
+    } else {
+      for (int mask = 1; mask < pof2; mask <<= 1) ++round;
+    }
+    // Fold-out: folded ranks receive the final value from their partner.
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        acc = recv<T>(rank_ + 1, kTagAllreduce + round);
+      } else {
+        send(rank_ - 1, kTagAllreduce + round, acc);
+      }
+    }
     return acc;
   }
 
   /// Every rank receives everyone's value, indexed by rank (MPI_Allgather).
+  /// Recursive doubling over contiguous rank blocks, with the same
+  /// fold-in/fold-out step as allreduce for non-power-of-two P.
   template <typename T>
   std::vector<T> allgather(const T& v) {
-    std::vector<T> all = gather(v, 0);
-    broadcast(all, 0);
-    return all;
+    CollectiveScope scope(*this, Collective::kAllgather);
+    const int p = size();
+    if (p == 1) return {v};
+    int pof2 = 1;
+    while (pof2 * 2 <= p) pof2 *= 2;
+    const int rem = p - pof2;
+    // `acc` is a contiguous world-rank block of values.
+    std::vector<T> acc;
+    int newrank;
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        send(rank_ + 1, kTagAllgather + 0, v);
+        newrank = -1;
+      } else {
+        acc.push_back(recv<T>(rank_ - 1, kTagAllgather + 0));
+        acc.push_back(v);
+        newrank = rank_ / 2;
+      }
+    } else {
+      acc.push_back(v);
+      newrank = rank_ - rem;
+    }
+    int round = 1;
+    if (newrank >= 0) {
+      for (int mask = 1; mask < pof2; mask <<= 1, ++round) {
+        const int partner_new = newrank ^ mask;
+        const int partner =
+            partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+        send(partner, kTagAllgather + round, acc);
+        auto other = recv<std::vector<T>>(partner, kTagAllgather + round);
+        if (newrank < partner_new) {
+          acc.insert(acc.end(), std::make_move_iterator(other.begin()),
+                     std::make_move_iterator(other.end()));
+        } else {
+          other.insert(other.end(), std::make_move_iterator(acc.begin()),
+                       std::make_move_iterator(acc.end()));
+          acc = std::move(other);
+        }
+      }
+    } else {
+      for (int mask = 1; mask < pof2; mask <<= 1) ++round;
+    }
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        acc = recv<std::vector<T>>(rank_ + 1, kTagAllgather + round);
+      } else {
+        send(rank_ - 1, kTagAllgather + round, acc);
+      }
+    }
+    return acc;
   }
 
   const CommStats& stats() const { return stats_; }
@@ -182,21 +424,57 @@ class Comm {
   Group split(int color);
 
  private:
-  static constexpr int kTagBarrierUp = kFirstReservedTag + 0;
-  static constexpr int kTagBarrierDown = kFirstReservedTag + 1;
-  static constexpr int kTagBroadcast = kFirstReservedTag + 2;
-  static constexpr int kTagGather = kFirstReservedTag + 3;
-  static constexpr int kTagScatter = kFirstReservedTag + 4;
+  // Reserved tag layout: one 64-tag band per collective, one tag per tree
+  // round within the band, so concurrent rounds of one collective can never
+  // be confused even under pathological scheduling.
+  static constexpr int kTagBandBits = 6;
+  static constexpr int kTagBarrier = kFirstReservedTag + (0 << kTagBandBits);
+  static constexpr int kTagBroadcast = kFirstReservedTag + (1 << kTagBandBits);
+  static constexpr int kTagGather = kFirstReservedTag + (2 << kTagBandBits);
+  static constexpr int kTagScatter = kFirstReservedTag + (3 << kTagBandBits);
+  static constexpr int kTagReduce = kFirstReservedTag + (4 << kTagBandBits);
+  static constexpr int kTagAllreduce = kFirstReservedTag + (5 << kTagBandBits);
+  static constexpr int kTagAllgather = kFirstReservedTag + (6 << kTagBandBits);
+
+  /// RAII attribution of point-to-point traffic to the enclosing
+  /// collective; only the outermost collective owns the traffic.
+  struct CollectiveScope {
+    CollectiveScope(Comm& c, Collective k)
+        : comm_(&c), owner_(c.active_collective_ < 0) {
+      if (owner_) {
+        comm_->active_collective_ = static_cast<int>(k);
+        comm_->stats_.collectives[static_cast<std::size_t>(k)].calls += 1;
+      }
+    }
+    ~CollectiveScope() {
+      if (owner_) comm_->active_collective_ = -1;
+    }
+    CollectiveScope(const CollectiveScope&) = delete;
+    CollectiveScope& operator=(const CollectiveScope&) = delete;
+
+    Comm* comm_;
+    bool owner_;
+  };
+
+  /// World rank of virtual rank `vrank` in a tree rooted at `root`.
+  int world_of(int vrank, int root) const { return (vrank + root) % size(); }
+
+  /// Binomial-tree broadcast of a raw payload (root's `bytes` in, every
+  /// rank's `bytes` out).
+  void bcast_bytes(std::vector<std::byte>& bytes, int root, int tag_base);
 
   int rank_;
   ClusterState* state_;
   CommStats stats_;
+  int active_collective_ = -1;
 };
 
 /// A subgroup view over a parent communicator: translates group ranks to
 /// world ranks and runs group-scoped point-to-point and collectives. Tags
 /// are offset into a reserved band so group traffic cannot collide with the
-/// parent's user tags.
+/// parent's user tags. Group collectives mirror the parent's tree
+/// algorithms (binomial broadcast/reduce/gather, dissemination barrier,
+/// fixed-tree allreduce) scoped to the group's ranks.
 class Comm::Group {
  public:
   Group(Comm* parent, std::vector<int> members, int my_group_rank)
@@ -221,34 +499,101 @@ class Comm::Group {
     return parent_->recv<T>(world_rank(src), group_tag(tag));
   }
 
-  /// Group-scoped reduce to group rank 0, folding in group-rank order.
+  /// Group-scoped binomial-tree reduce to group rank 0, combining
+  /// contiguous group-rank blocks in fixed tree order (same determinism
+  /// contract as Comm::reduce).
   template <typename T, typename Op>
   T reduce(const T& v, Op op) {
-    if (rank_ == 0) {
-      T acc = v;
-      for (int r = 1; r < size(); ++r) {
-        acc = op(std::move(acc), recv<T>(r, kGroupReduce));
+    CollectiveScope scope(*parent_, Collective::kReduce);
+    const int p = size();
+    T acc = v;
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+      if (rank_ & mask) {
+        send(rank_ - mask, kGroupReduce + round, acc);
+        return T{};
       }
-      return acc;
+      if (rank_ + mask < p) {
+        acc = op(std::move(acc), recv<T>(rank_ + mask, kGroupReduce + round));
+      }
     }
-    send(0, kGroupReduce, v);
-    return T{};
+    return acc;
   }
 
-  /// Group-scoped broadcast from group rank 0.
+  /// Group-scoped binomial-tree broadcast from group rank 0.
   template <typename T>
   void broadcast(T& v) {
-    if (rank_ == 0) {
-      for (int r = 1; r < size(); ++r) send(r, kGroupBcast, v);
+    CollectiveScope scope(*parent_, Collective::kBroadcast);
+    const int p = size();
+    if (p == 1) return;
+    int mask = 1, round = 0;
+    if (rank_ != 0) {
+      for (; mask < p; mask <<= 1, ++round) {
+        if (rank_ & mask) {
+          v = recv<T>(rank_ - mask, kGroupBcast + round);
+          break;
+        }
+      }
     } else {
-      v = recv<T>(0, kGroupBcast);
+      for (; mask < p; mask <<= 1) ++round;
+    }
+    for (mask >>= 1, --round; mask > 0; mask >>= 1, --round) {
+      if (rank_ + mask < p) send(rank_ + mask, kGroupBcast + round, v);
+    }
+  }
+
+  /// Group-scoped gather to group rank 0 (binomial subtree bundles).
+  template <typename T>
+  std::vector<T> gather(const T& v) {
+    CollectiveScope scope(*parent_, Collective::kGather);
+    const int p = size();
+    std::vector<T> sub;
+    sub.push_back(v);
+    int round = 0;
+    for (int mask = 1; mask < p; mask <<= 1, ++round) {
+      if (rank_ & mask) {
+        send(rank_ - mask, kGroupGather + round, sub);
+        return {};
+      }
+      if (rank_ + mask < p) {
+        auto child = recv<std::vector<T>>(rank_ + mask, kGroupGather + round);
+        sub.insert(sub.end(), std::make_move_iterator(child.begin()),
+                   std::make_move_iterator(child.end()));
+      }
+    }
+    return sub;
+  }
+
+  /// Group-scoped allreduce: tree reduce to group rank 0 plus tree
+  /// broadcast (2·ceil(log2 P) critical path; bitwise identical on every
+  /// group rank).
+  template <typename T, typename Op>
+  T allreduce(const T& v, Op op) {
+    CollectiveScope scope(*parent_, Collective::kAllreduce);
+    T acc = reduce(v, op);
+    broadcast(acc);
+    return acc;
+  }
+
+  /// Group-scoped dissemination barrier.
+  void barrier() {
+    CollectiveScope scope(*parent_, Collective::kBarrier);
+    const int p = size();
+    int round = 0;
+    for (int dist = 1; dist < p; dist <<= 1, ++round) {
+      send((rank_ + dist) % p, kGroupBarrier + round, std::uint8_t{0});
+      (void)recv<std::uint8_t>((rank_ - dist + p) % p, kGroupBarrier + round);
     }
   }
 
  private:
-  // Topmost two tags of the group band are reserved for the collectives.
-  static constexpr int kGroupReduce = (1 << 20) - 2;
-  static constexpr int kGroupBcast = (1 << 20) - 1;
+  // The top tags of the group band are reserved for the collectives: one
+  // 64-tag sub-band per collective, one tag per tree round.
+  static constexpr int kGroupCollBase = (1 << 20) - 512;
+  static constexpr int kGroupReduce = kGroupCollBase + 0 * 64;
+  static constexpr int kGroupBcast = kGroupCollBase + 1 * 64;
+  static constexpr int kGroupGather = kGroupCollBase + 2 * 64;
+  static constexpr int kGroupBarrier = kGroupCollBase + 3 * 64;
   static int group_tag(int tag) {
     TRIOLET_CHECK(tag >= 0 && tag < (1 << 20), "group tag out of range");
     return (1 << 27) + tag;  // still below kFirstReservedTag

@@ -97,6 +97,20 @@ TEST(Average, MatchesClosedForm) {
   EXPECT_DOUBLE_EQ(average(range(5, 5)), 0.0);
 }
 
+TEST(MinMaxAvg, ParallelHintsMatchSequential) {
+  // min/max/average dispatch through the threaded chunked reduction when
+  // hinted, like sum; results must match the sequential consumers.
+  auto xs = random_array(4099, 31);
+  const double mn = minimum(from_array(xs));
+  const double mx = maximum(from_array(xs));
+  const double av = average(from_array(xs));
+  EXPECT_EQ(minimum(localpar(from_array(xs))), mn);
+  EXPECT_EQ(maximum(localpar(from_array(xs))), mx);
+  EXPECT_NEAR(average(localpar(from_array(xs))), av, 1e-12);
+  EXPECT_EQ(minimum(par(from_array(xs))), mn);
+  EXPECT_EQ(maximum(par(from_array(xs))), mx);
+}
+
 TEST(ShortCircuit, AnyAllNone) {
   auto evens = filter(range(0, 100), [](index_t i) { return i % 2 == 0; });
   EXPECT_TRUE(any_of(evens, [](index_t i) { return i > 90; }));

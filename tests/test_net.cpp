@@ -127,7 +127,9 @@ TEST(Cluster, ScatterHandsOutPerRankItems) {
 
 TEST(Cluster, ReduceFoldsInRankOrder) {
   auto res = Cluster::run(4, [](Comm& c) {
-    // Non-commutative op: string concatenation exposes ordering.
+    // Non-commutative (but associative) op: string concatenation exposes
+    // ordering. The fixed-tree combine keeps rank order for associative
+    // ops; only the parenthesization differs from a linear fold.
     std::string mine(1, static_cast<char>('A' + c.rank()));
     auto r = c.reduce(mine, [](std::string a, std::string b) { return a + b; }, 0);
     if (c.rank() == 0) EXPECT_EQ(r, "ABCD");
