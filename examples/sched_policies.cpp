@@ -1,0 +1,68 @@
+// Schedule policies on an irregular workload.
+//
+// A filtered/skewed iteration space leaves a static block split imbalanced;
+// the SchedOptions knob re-maps the same computation onto the demand-driven
+// scheduler without touching the loop body. This example runs one skewed
+// reduction under all three policies and checks they agree — exactly, for
+// the ordered combine mode.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/triolet.hpp"
+#include "dist/skeletons.hpp"
+#include "net/cluster.hpp"
+
+using namespace triolet;
+using core::index_t;
+
+int main() {
+  const index_t n = 512;
+  Array1<double> costs(n);
+  for (index_t i = 0; i < n; ++i) costs[i] = static_cast<double>(i);
+
+  // Item i costs O(i): the triangular shape of pair-correlation loops.
+  auto workload = [&] {
+    return core::map(core::from_array(costs), [](double c) {
+      double v = 0.0;
+      for (int k = 0; k < static_cast<int>(c); ++k) v += std::sin(v + k);
+      return v;
+    });
+  };
+
+  const sched::SchedulePolicy policies[] = {sched::SchedulePolicy::kStatic,
+                                            sched::SchedulePolicy::kGuided,
+                                            sched::SchedulePolicy::kDynamic};
+  double results[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    sched::SchedOptions opts{policies[i], sched::CombineMode::kOrdered, 16};
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      dist::NodeRuntime node(2);
+      double r = dist::reduce(comm, workload, 0.0,
+                              [](double a, double b) { return a + b; }, opts);
+      if (comm.rank() == 0) results[i] = r;
+    });
+    if (!res.ok) {
+      std::fprintf(stderr, "cluster failed: %s\n", res.error.c_str());
+      return 1;
+    }
+    const auto& s = res.total_stats.sched;
+    std::printf("%-8s sum = %.12f  (%lld requests, %lld grants, %lld ctrl bytes)\n",
+                sched::to_string(policies[i]), results[i],
+                static_cast<long long>(s.requests_sent),
+                static_cast<long long>(s.grants_served),
+                static_cast<long long>(s.control_bytes));
+  }
+
+  // Ordered combine folds per-atom partials in atom order, so every policy
+  // must produce the same bits.
+  for (int i = 1; i < 3; ++i) {
+    if (std::memcmp(&results[0], &results[i], sizeof(double)) != 0) {
+      std::fprintf(stderr, "policy results diverged\n");
+      return 1;
+    }
+  }
+  std::printf("all policies agree bitwise\n");
+  return 0;
+}

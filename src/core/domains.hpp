@@ -13,6 +13,7 @@
 // global base offsets on arrays (array/array.hpp), this is what lets a
 // sliced task run unmodified on a remote node.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -214,6 +215,43 @@ std::vector<Dim2> split_blocks(Dim2 d, int k);
 /// Splits a 3D box into k sub-boxes: factorizes k into a (kz, ky, kx) grid
 /// whose blocks are as close to cubic as possible.
 std::vector<Dim3> split_blocks(Dim3 d, int k);
+
+// -- outer-axis chunking ------------------------------------------------------
+//
+// The demand-driven scheduler (src/sched/) grants work as contiguous runs of
+// *outer-axis units*: plain indices for Seq, whole rows for Dim2, whole z
+// slabs for Dim3. Chunking along the outermost axis keeps every chunk a
+// rectangular sub-domain, so grants slice and serialize exactly like the
+// static node chunks of split_blocks.
+
+/// Number of outermost-axis units in `d` (indices / rows / z slabs).
+inline index_t outer_extent(Seq d) { return d.size(); }
+inline index_t outer_extent(Dim2 d) { return d.rows(); }
+inline index_t outer_extent(Dim3 d) { return d.z1 > d.z0 ? d.z1 - d.z0 : 0; }
+
+/// Sub-domain covering outer units [u0, u1) of `d` (clamped to the extent;
+/// u0 >= u1 yields an empty domain anchored at u0 so global indices stay
+/// meaningful). All inner axes are kept whole.
+inline Seq outer_slice(Seq d, index_t u0, index_t u1) {
+  const index_t n = outer_extent(d);
+  u0 = std::clamp<index_t>(u0, 0, n);
+  u1 = std::clamp<index_t>(u1, u0, n);
+  return Seq{d.lo + u0, d.lo + u1};
+}
+
+inline Dim2 outer_slice(Dim2 d, index_t u0, index_t u1) {
+  const index_t n = outer_extent(d);
+  u0 = std::clamp<index_t>(u0, 0, n);
+  u1 = std::clamp<index_t>(u1, u0, n);
+  return Dim2{d.y0 + u0, d.y0 + u1, d.x0, d.x1};
+}
+
+inline Dim3 outer_slice(Dim3 d, index_t u0, index_t u1) {
+  const index_t n = outer_extent(d);
+  u0 = std::clamp<index_t>(u0, 0, n);
+  u1 = std::clamp<index_t>(u1, u0, n);
+  return Dim3{d.z0 + u0, d.z0 + u1, d.y0, d.y1, d.x0, d.x1};
+}
 
 /// Splits into chunks of at most `grain` indices each (1D).
 inline std::vector<Seq> split_grain(Seq d, index_t grain) {

@@ -26,6 +26,7 @@
 #include "core/consume.hpp"
 #include "core/skeletons.hpp"
 #include "net/comm.hpp"
+#include "sched/scheduler.hpp"
 
 namespace triolet::dist {
 
@@ -256,6 +257,68 @@ auto build_array2(net::Comm& comm, MakeIter&& make) {
     }
   }
   return out;
+}
+
+// -- scheduled variants -------------------------------------------------------
+//
+// Every consumer above also accepts a sched::SchedOptions to choose how
+// chunks map to ranks (src/sched/): kStatic pushes one pre-assigned run per
+// rank, kGuided/kDynamic run the demand-driven request/grant protocol.
+// These overloads delegate to the scheduler for *all* policies — including
+// kStatic — so the decomposition is identical across policies (outer-axis
+// atoms; for 2D domains that means row bands rather than the near-square
+// block grid of the no-options overloads above).
+
+/// Distributed reduction under an explicit schedule policy.
+template <typename MakeIter, typename T, typename Op>
+T reduce(net::Comm& comm, MakeIter&& make, T init, Op op,
+         const sched::SchedOptions& opts) {
+  return sched::map_reduce(comm, std::forward<MakeIter>(make),
+                           std::move(init), op, opts);
+}
+
+/// Distributed sum under an explicit schedule policy.
+template <typename MakeIter>
+auto sum(net::Comm& comm, MakeIter&& make, const sched::SchedOptions& opts) {
+  return sched::sum(comm, std::forward<MakeIter>(make), opts);
+}
+
+/// Distributed element count under an explicit schedule policy.
+template <typename MakeIter>
+index_t count(net::Comm& comm, MakeIter&& make,
+              const sched::SchedOptions& opts) {
+  return sched::count(comm, std::forward<MakeIter>(make), opts);
+}
+
+/// Distributed integer histogram under an explicit schedule policy.
+template <typename MakeIter>
+Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
+                               MakeIter&& make,
+                               const sched::SchedOptions& opts) {
+  return sched::histogram(comm, nbins, std::forward<MakeIter>(make), opts);
+}
+
+/// Distributed floating-point histogram under an explicit schedule policy.
+template <typename F, typename MakeIter>
+Array1<F> float_histogram(net::Comm& comm, index_t ncells, MakeIter&& make,
+                          const sched::SchedOptions& opts) {
+  return sched::float_histogram<F>(comm, ncells, std::forward<MakeIter>(make),
+                                   opts);
+}
+
+/// Distributed 1D materialization under an explicit schedule policy.
+template <typename MakeIter>
+auto build_array1(net::Comm& comm, MakeIter&& make,
+                  const sched::SchedOptions& opts) {
+  return sched::build_array1(comm, std::forward<MakeIter>(make), opts);
+}
+
+/// Distributed 2D materialization under an explicit schedule policy
+/// (row-band decomposition; the domain must still be full-width).
+template <typename MakeIter>
+auto build_array2(net::Comm& comm, MakeIter&& make,
+                  const sched::SchedOptions& opts) {
+  return sched::build_array2(comm, std::forward<MakeIter>(make), opts);
 }
 
 }  // namespace triolet::dist

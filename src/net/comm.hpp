@@ -42,6 +42,18 @@ namespace triolet::net {
 /// User tags must stay below this; larger tags are reserved for collectives.
 inline constexpr int kFirstReservedTag = 1 << 28;
 
+// Dedicated tag band for the demand-driven chunk scheduler (src/sched/).
+// Registered here, next to the collective bands, so the three reserved
+// regions are visible in one place: user task tags should stay below
+// kTagSchedBand, group-relay tags live at [1<<27, 1<<27 + 1<<20), and
+// collective rounds start at kFirstReservedTag. Requests travel root-ward
+// under kTagSchedRequest (always received with kAnySource) and grants come
+// back under kTagSchedGrant, so scheduler control traffic can never be
+// confused with task payloads or collective rounds.
+inline constexpr int kTagSchedBand = 1 << 26;
+inline constexpr int kTagSchedRequest = kTagSchedBand + 0;
+inline constexpr int kTagSchedGrant = kTagSchedBand + 1;
+
 /// Collective kinds tracked by the per-collective traffic counters.
 enum class Collective : int {
   kBarrier = 0,
@@ -75,6 +87,37 @@ struct CollectiveStats {
   }
 };
 
+/// Traffic and load attributed to the demand-driven chunk scheduler on one
+/// rank (src/sched/ fills these in; see docs/INTERNALS.md "Distributed
+/// scheduling"). Control traffic is the request/grant protocol itself —
+/// task payloads inside grants are *not* control bytes.
+struct SchedStats {
+  std::int64_t requests_sent = 0;      // chunk requests this rank issued
+  std::int64_t grants_served = 0;      // work grants issued (root only)
+  std::int64_t grants_received = 0;    // work grants this rank executed
+  std::int64_t chunks_executed = 0;    // grants + root self-issued chunks
+  std::int64_t items_executed = 0;     // outer-domain units actually run here
+  std::int64_t control_messages = 0;   // requests + grant envelopes
+  std::int64_t control_bytes = 0;      // request payloads + grant headers
+  double busy_seconds = 0.0;           // executing granted work
+  double idle_seconds = 0.0;           // waiting for a grant (steal latency)
+  std::int64_t steal_waits = 0;        // number of request->grant waits
+
+  SchedStats& operator+=(const SchedStats& o) {
+    requests_sent += o.requests_sent;
+    grants_served += o.grants_served;
+    grants_received += o.grants_received;
+    chunks_executed += o.chunks_executed;
+    items_executed += o.items_executed;
+    control_messages += o.control_messages;
+    control_bytes += o.control_bytes;
+    busy_seconds += o.busy_seconds;
+    idle_seconds += o.idle_seconds;
+    steal_waits += o.steal_waits;
+    return *this;
+  }
+};
+
 struct CommStats {
   std::int64_t messages_sent = 0;
   std::int64_t bytes_sent = 0;
@@ -85,6 +128,9 @@ struct CommStats {
   /// collective (e.g. the allgather inside split()) is attributed to the
   /// outermost one.
   std::array<CollectiveStats, kNumCollectives> collectives{};
+
+  /// Demand-driven scheduler attribution (requests/grants/busy/idle).
+  SchedStats sched{};
 
   const CollectiveStats& collective(Collective c) const {
     return collectives[static_cast<std::size_t>(c)];
@@ -98,6 +144,7 @@ struct CommStats {
     for (std::size_t i = 0; i < kNumCollectives; ++i) {
       collectives[i] += o.collectives[i];
     }
+    sched += o.sched;
     return *this;
   }
 };
@@ -411,6 +458,10 @@ class Comm {
   }
 
   const CommStats& stats() const { return stats_; }
+
+  /// Mutable scheduler counters: the sched/ layer records its protocol
+  /// activity here so cluster-level CommStats aggregation picks it up.
+  SchedStats& sched_stats() { return stats_.sched; }
 
   // -- sub-communicators --------------------------------------------------------
 

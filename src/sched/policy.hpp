@@ -1,0 +1,92 @@
+#pragma once
+
+// Work-distribution policies for the distributed skeletons.
+//
+// The dist layer's original (and still default) behavior is one static
+// split_blocks at the root: perfect for uniform loops, pathological for the
+// skewed iteration spaces the hybrid iterator exists to keep partitionable
+// (filter / concat_map, paper §3.2). SchedulePolicy makes the mapping of
+// chunks to nodes a knob, decoupled from what is computed — the
+// data-vs-work-distribution separation argued by Mapple and Distributed
+// Ranges (PAPERS.md):
+//
+//   kStatic   one contiguous block per rank, assigned up front (no protocol
+//             traffic; the classic split_blocks schedule)
+//   kGuided   guided self-scheduling: the root grants runs of chunks whose
+//             size decays geometrically with the remaining work, down to a
+//             floor of one atom — big grants amortize protocol latency
+//             early, small grants balance the tail
+//   kDynamic  one atom per grant: maximum balance, maximum protocol traffic
+//
+// All three policies subdivide the domain into the *same* fixed sequence of
+// atomic chunks ("atoms": `grain` outer-axis units each); policies only
+// decide how many consecutive atoms a grant carries and who runs them. That
+// invariant is what lets CombineMode::kOrdered produce bitwise identical
+// results under every policy: per-atom partials are combined in atom order,
+// which is independent of the rank that computed them.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/macros.hpp"
+
+namespace triolet::sched {
+
+using index_t = std::int64_t;
+
+enum class SchedulePolicy { kStatic, kGuided, kDynamic };
+
+/// How per-atom partial results are combined into the final answer.
+///
+///   kTree     each rank folds its grants locally, partials combine along
+///             the binomial reduce tree. Fastest; exact for associative +
+///             commutative ops (integer sums, histograms), but the
+///             floating-point parenthesization depends on which rank ran
+///             which chunk.
+///   kOrdered  per-atom partials are gathered and left-folded in atom
+///             order at the root: bitwise reproducible run-to-run AND
+///             across policies (the demand-driven analogue of
+///             Comm::reduce_ordered).
+enum class CombineMode { kTree, kOrdered };
+
+struct SchedOptions {
+  SchedulePolicy policy = SchedulePolicy::kStatic;
+  CombineMode combine = CombineMode::kTree;
+  /// Atom size in outer-domain units (Seq indices / Dim2 rows / Dim3
+  /// slabs). 0 = auto: extent / (8 * ranks), floored at one unit.
+  index_t grain = 0;
+};
+
+inline const char* to_string(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kStatic: return "static";
+    case SchedulePolicy::kGuided: return "guided";
+    case SchedulePolicy::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+/// Resolves the atom grain for a domain of `extent` outer units on `ranks`
+/// nodes. Must depend only on (extent, ranks, requested) — never on the
+/// policy — so all policies chunk identically (the kOrdered invariant).
+inline index_t resolve_grain(index_t extent, int ranks, index_t requested) {
+  TRIOLET_CHECK(requested >= 0, "grain must be non-negative");
+  if (requested > 0) return requested;
+  return std::max<index_t>(1, extent / (8 * static_cast<index_t>(ranks)));
+}
+
+/// Number of atoms a domain of `extent` outer units splits into.
+inline index_t atom_count(index_t extent, index_t grain) {
+  TRIOLET_ASSERT(grain >= 1);
+  return (extent + grain - 1) / grain;
+}
+
+/// Size (in atoms) of the next guided grant: ceil-free geometric decay
+/// remaining / (2 * ranks), floored at one atom. With R atoms left the
+/// grant sequence shrinks by a factor of (1 - 1/(2P)) per grant, the
+/// classic guided self-scheduling schedule.
+inline index_t guided_run_atoms(index_t remaining_atoms, int ranks) {
+  return std::max<index_t>(1, remaining_atoms / (2 * static_cast<index_t>(ranks)));
+}
+
+}  // namespace triolet::sched

@@ -1,0 +1,425 @@
+#pragma once
+
+// Demand-driven distributed chunk scheduler (the "sched" subsystem).
+//
+// The static split of dist/skeletons.hpp assigns one contiguous block per
+// rank up front — ideal when iterations cost the same, idle-heavy when the
+// iteration space is skewed (tpacf's triangular loops, filtered domains).
+// This layer replaces the *mapping* of work to ranks with a request/grant
+// protocol while reusing every other piece of the two-level machinery:
+//
+//   1. The root subdivides the iterator's domain into a fixed sequence of
+//      atomic chunks ("atoms": `grain` outer-axis units, core::outer_slice).
+//   2. Worker ranks ask for work by sending a request on the dedicated
+//      net::kTagSchedRequest tag; the root's service loop receives requests
+//      with kAnySource and answers each with a Grant: a run of consecutive
+//      atoms, sliced and serialized exactly as scatter_chunks slices static
+//      chunks (sub-arrays only). Run length is the policy knob — everything
+//      per rank (kStatic), geometrically decaying runs (kGuided), or one
+//      atom (kDynamic).
+//   3. The root interleaves serving with its own execution: while requests
+//      are pending it serves; otherwise it self-issues one atom at a time,
+//      staying responsive (a grant is never delayed by more than one atom
+//      of root compute).
+//   4. When the queue drains, each worker's next request is answered with a
+//      `done` grant; workers then enter the combine step. Partial results
+//      combine along the existing binomial reduce tree (CombineMode::kTree)
+//      or by an atom-ordered gather + left fold (CombineMode::kOrdered,
+//      bitwise reproducible across policies — see policy.hpp).
+//
+// Protocol traffic, grant counts, and per-rank busy/idle time are recorded
+// in CommStats::sched so benchmarks can report imbalance and control
+// overhead (docs/INTERNALS.md "Distributed scheduling").
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/consume.hpp"
+#include "core/skeletons.hpp"
+#include "net/comm.hpp"
+#include "sched/policy.hpp"
+#include "support/timing.hpp"
+
+namespace triolet::sched {
+
+/// One scheduler message from root to a worker: either a run of atoms
+/// [atom_lo, atom_lo + atom_n) with the matching iterator slice, or the
+/// `done` dismissal that ends the worker's request loop. `grain` ships with
+/// every grant because only the root resolves it (workers never see the
+/// global extent).
+template <typename It>
+struct Grant {
+  std::uint8_t done = 0;
+  index_t atom_lo = 0;
+  index_t atom_n = 0;
+  index_t grain = 0;
+  It task{};
+};
+
+/// Wire size of a Grant minus its task payload (done + three index_t
+/// fields) — the part of a grant that is control, not data.
+inline constexpr std::int64_t kGrantHeaderBytes = 1 + 3 * 8;
+
+namespace detail {
+
+/// Executes `run` bookkeeping: calls on_chunk and charges busy time /
+/// chunk / item counters to this rank's scheduler stats.
+template <typename It, typename OnChunk>
+void execute_run(net::Comm& comm, const It& run, index_t atom_lo,
+                 index_t atom_n, index_t grain, OnChunk&& on_chunk) {
+  if (atom_n <= 0) return;
+  Stopwatch sw;
+  on_chunk(run, atom_lo, atom_n, grain);
+  auto& s = comm.sched_stats();
+  s.busy_seconds += sw.seconds();
+  s.chunks_executed += 1;
+  s.items_executed += core::outer_extent(run.domain());
+}
+
+}  // namespace detail
+
+/// The scheduler core: runs `make()`'s iterator across all ranks under
+/// `opts`, invoking `on_chunk(run_iter, atom_lo, atom_n, grain)` on the
+/// rank that executes each granted run. `make` is called on rank 0 only
+/// (same contract as dist::scatter_chunks); `on_chunk` runs on every rank
+/// for its own grants. Collective: every rank must call it.
+template <typename MakeIter, typename OnChunk>
+void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
+                OnChunk&& on_chunk) {
+  using It = std::remove_cvref_t<decltype(make())>;
+  const int p = comm.size();
+  auto& sched = comm.sched_stats();
+
+  if (comm.rank() != 0) {
+    if (opts.policy == SchedulePolicy::kStatic) {
+      // Static: exactly one pre-assigned grant, no requests.
+      Grant<It> g = comm.recv<Grant<It>>(0, net::kTagSchedGrant);
+      sched.grants_received += 1;
+      detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
+                          on_chunk);
+      return;
+    }
+    // Demand-driven: request until dismissed.
+    while (true) {
+      comm.send(0, net::kTagSchedRequest, std::uint8_t{0});
+      sched.requests_sent += 1;
+      sched.control_messages += 1;
+      sched.control_bytes += 1;
+      Stopwatch wait;
+      Grant<It> g = comm.recv<Grant<It>>(0, net::kTagSchedGrant);
+      sched.idle_seconds += wait.seconds();
+      sched.steal_waits += 1;
+      if (g.done) break;
+      sched.grants_received += 1;
+      detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
+                          on_chunk);
+    }
+    return;
+  }
+
+  // -- root -------------------------------------------------------------------
+  It it = make();
+  const auto dom = it.domain();
+  const index_t extent = core::outer_extent(dom);
+  const index_t grain = resolve_grain(extent, p, opts.grain);
+  const index_t natoms = atom_count(extent, grain);
+
+  // Atoms [a, b) as a sliced sub-iterator (contiguous outer units, last
+  // atom clamped to the extent).
+  auto slice_run = [&](index_t a, index_t b) {
+    const index_t u0 = std::min(a * grain, extent);
+    const index_t u1 = std::min(b * grain, extent);
+    return it.slice(core::outer_slice(dom, u0, u1));
+  };
+
+  if (opts.policy == SchedulePolicy::kStatic) {
+    // The split_blocks schedule expressed in atoms: rank r gets atoms
+    // [natoms*r/p, natoms*(r+1)/p), pushed without any request traffic.
+    for (int r = 1; r < p; ++r) {
+      const index_t a = natoms * r / p;
+      const index_t b = natoms * (r + 1) / p;
+      Grant<It> g{0, a, b - a, grain, slice_run(a, b)};
+      comm.send(r, net::kTagSchedGrant, g);
+      sched.grants_served += 1;
+      sched.control_messages += 1;
+      sched.control_bytes += kGrantHeaderBytes;
+    }
+    const index_t b0 = natoms * 1 / p;
+    detail::execute_run(comm, slice_run(0, b0), 0, b0, grain, on_chunk);
+    return;
+  }
+
+  // Demand-driven service loop. `next` is the queue head; the root serves
+  // every pending request before self-issuing one atom, so worker wait time
+  // is bounded by one atom of root compute.
+  index_t next = 0;
+  int done_sent = 0;
+  auto serve = [&](int requester) {
+    const index_t remaining = natoms - next;
+    if (remaining <= 0) {
+      comm.send(requester, net::kTagSchedGrant, Grant<It>{1, 0, 0, grain, {}});
+      done_sent += 1;
+    } else {
+      const index_t n = opts.policy == SchedulePolicy::kDynamic
+                            ? 1
+                            : std::min(remaining, guided_run_atoms(remaining, p));
+      Grant<It> g{0, next, n, grain, slice_run(next, next + n)};
+      comm.send(requester, net::kTagSchedGrant, g);
+      next += n;
+      sched.grants_served += 1;
+    }
+    sched.control_messages += 1;
+    sched.control_bytes += kGrantHeaderBytes;
+  };
+
+  while (next < natoms || done_sent < p - 1) {
+    if (next < natoms) {
+      bool served = false;
+      while (auto req = comm.try_recv_message(net::kAnySource,
+                                              net::kTagSchedRequest)) {
+        serve(req->src);
+        served = true;
+      }
+      if (served) continue;
+      // No demand right now: run one atom locally, then poll again.
+      detail::execute_run(comm, slice_run(next, next + 1), next, 1, grain,
+                          on_chunk);
+      next += 1;
+    } else {
+      // Queue drained: block for the stragglers' final requests.
+      net::Message req =
+          comm.recv_message(net::kAnySource, net::kTagSchedRequest);
+      serve(req.src);
+    }
+  }
+}
+
+namespace detail {
+
+/// Elementwise-sum combine for partial histograms (mirrors
+/// dist::detail::sum_arrays; duplicated to keep sched free of a dist
+/// dependency — dist layers on sched, not the reverse).
+template <typename A>
+A sum_arrays(A a, const A& b) {
+  TRIOLET_CHECK(a.size() == b.size(), "partial histogram size mismatch");
+  auto* pa = a.data();
+  const auto* pb = b.data();
+  const index_t n = a.size();
+  for (index_t i = 0; i < n; ++i) pa[i] += pb[i];
+  return a;
+}
+
+}  // namespace detail
+
+/// Demand-scheduled distributed reduction. `init` must be an identity of
+/// `op`. Rank 0 gets the result; other ranks a default T.
+///
+/// kTree: each rank folds its grants in arrival order, per-rank partials
+/// combine along the binomial reduce tree (exact for associative +
+/// commutative ops; FP parenthesization follows the chunk assignment).
+/// kOrdered: one partial per atom, gathered and left-folded in atom order —
+/// bitwise identical for all three policies and run-to-run (for a fixed
+/// per-node thread count), the scheduler analogue of reduce_ordered.
+template <typename MakeIter, typename T, typename Op>
+T map_reduce(net::Comm& comm, MakeIter&& make, T init, Op op,
+             const SchedOptions& opts) {
+  if (opts.combine == CombineMode::kOrdered) {
+    std::vector<std::pair<index_t, T>> mine;
+    run_chunks(comm, make, opts,
+               [&](const auto& run, index_t atom_lo, index_t atom_n,
+                   index_t grain) {
+                 const auto rdom = run.domain();
+                 const index_t run_extent = core::outer_extent(rdom);
+                 for (index_t j = 0; j < atom_n; ++j) {
+                   const index_t u0 = std::min(j * grain, run_extent);
+                   const index_t u1 = std::min((j + 1) * grain, run_extent);
+                   auto atom = core::localpar(
+                       run.slice(core::outer_slice(rdom, u0, u1)));
+                   mine.emplace_back(atom_lo + j,
+                                     core::reduce(atom, init, op));
+                 }
+               });
+    auto parts = comm.gather(mine, 0);
+    if (comm.rank() != 0) return T{};
+    std::vector<std::pair<index_t, T>> pieces;
+    for (auto& part : parts) {
+      pieces.insert(pieces.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    std::sort(pieces.begin(), pieces.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    T acc = std::move(init);
+    for (auto& [idx, partial] : pieces) {
+      acc = op(std::move(acc), std::move(partial));
+    }
+    return acc;
+  }
+  T acc = init;
+  run_chunks(comm, make, opts,
+             [&](const auto& run, index_t, index_t, index_t) {
+               acc = op(std::move(acc),
+                        core::reduce(core::localpar(run), init, op));
+             });
+  return comm.reduce(acc, op, 0);
+}
+
+/// Demand-scheduled distributed sum (rank 0 gets the result).
+template <typename MakeIter>
+auto sum(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
+  using T = typename std::remove_cvref_t<decltype(make())>::value_type;
+  return map_reduce(comm, make, T{},
+                    [](T a, const T& b) { return a + b; }, opts);
+}
+
+/// Demand-scheduled element count (after filtering / nesting).
+template <typename MakeIter>
+index_t count(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
+  index_t acc = 0;
+  run_chunks(comm, make, opts,
+             [&](const auto& run, index_t, index_t, index_t) {
+               acc += core::count(core::localpar(run));
+             });
+  return comm.reduce(acc, [](index_t a, index_t b) { return a + b; }, 0);
+}
+
+/// Demand-scheduled integer histogram: per-grant threaded partials
+/// accumulate into one per-rank histogram, combined along the reduce tree.
+/// Integer addition commutes exactly, so every policy returns the same
+/// histogram bit for bit.
+template <typename MakeIter>
+Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
+                               MakeIter&& make, const SchedOptions& opts) {
+  Array1<std::int64_t> acc(nbins, 0);
+  run_chunks(comm, make, opts,
+             [&](const auto& run, index_t, index_t, index_t) {
+               acc = detail::sum_arrays(
+                   std::move(acc), core::histogram(nbins, core::localpar(run)));
+             });
+  return comm.reduce(acc, detail::sum_arrays<Array1<std::int64_t>>, 0);
+}
+
+/// Demand-scheduled floating-point histogram (cutcp's grid pattern).
+/// Accumulation order follows the chunk assignment, so results match the
+/// static path to rounding, not bitwise.
+template <typename F, typename MakeIter>
+Array1<F> float_histogram(net::Comm& comm, index_t ncells, MakeIter&& make,
+                          const SchedOptions& opts) {
+  Array1<F> acc(ncells, F{0});
+  run_chunks(comm, make, opts,
+             [&](const auto& run, index_t, index_t, index_t) {
+               acc = detail::sum_arrays(
+                   std::move(acc),
+                   core::float_histogram<F>(ncells, core::localpar(run)));
+             });
+  return comm.reduce(acc, detail::sum_arrays<Array1<F>>, 0);
+}
+
+/// Demand-scheduled 1D materialization: every grant builds one contiguous
+/// base-offset-tagged part; the root block-copies all parts into place
+/// (same assembly as dist::build_array1, just many small parts instead of
+/// one per rank). Elementwise output, so results are identical under every
+/// policy.
+template <typename MakeIter>
+auto build_array1(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
+  using It = std::remove_cvref_t<decltype(make())>;
+  using V = typename It::value_type;
+  std::vector<Array1<V>> mine;
+  run_chunks(comm, make, opts,
+             [&](const auto& run, index_t, index_t, index_t) {
+               mine.push_back(core::build_array1(core::localpar(run)));
+             });
+  auto gathered = comm.gather(mine, 0);
+  if (comm.rank() != 0) return Array1<V>{};
+  std::vector<Array1<V>> parts;
+  for (auto& g : gathered) {
+    parts.insert(parts.end(), std::make_move_iterator(g.begin()),
+                 std::make_move_iterator(g.end()));
+  }
+  if (parts.empty()) return Array1<V>{};
+  index_t lo = parts.front().lo(), hi = parts.front().hi();
+  for (const auto& part : parts) {
+    lo = std::min(lo, part.lo());
+    hi = std::max(hi, part.hi());
+  }
+  Array1<V> out(lo, std::vector<V>(static_cast<std::size_t>(hi - lo)));
+  for (const auto& part : parts) {
+    std::copy_n(part.data(), static_cast<std::size_t>(part.size()),
+                out.data() + (part.lo() - lo));
+  }
+  return out;
+}
+
+/// Demand-scheduled 2D materialization. Grants are full-width row bands
+/// (outer_slice on Dim2), so every part is a rectangular Block2 the
+/// existing row-major assembly handles; unlike the static path's
+/// near-square split_blocks grid, the scheduler's decomposition is 1D over
+/// rows — the price of keeping the chunk queue a single sequence.
+template <typename MakeIter>
+auto build_array2(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
+  using It = std::remove_cvref_t<decltype(make())>;
+  using V = typename It::value_type;
+  std::vector<core::Block2<V>> mine;
+  run_chunks(comm, make, opts,
+             [&](const auto& run, index_t, index_t, index_t) {
+               mine.push_back(core::build_block2(core::localpar(run)));
+             });
+  auto gathered = comm.gather(mine, 0);
+  if (comm.rank() != 0) return Array2<V>{};
+  std::vector<core::Block2<V>> blocks;
+  for (auto& g : gathered) {
+    blocks.insert(blocks.end(), std::make_move_iterator(g.begin()),
+                  std::make_move_iterator(g.end()));
+  }
+  if (blocks.empty()) return Array2<V>{};
+  core::Dim2 full = blocks.front().dom;
+  for (const auto& b : blocks) {
+    full.y0 = std::min(full.y0, b.dom.y0);
+    full.y1 = std::max(full.y1, b.dom.y1);
+    full.x0 = std::min(full.x0, b.dom.x0);
+    full.x1 = std::max(full.x1, b.dom.x1);
+  }
+  TRIOLET_CHECK(full.x0 == 0, "build_array2 needs a full-width 2D domain");
+  Array2<V> out(full.y0, full.rows(), full.cols(),
+                std::vector<V>(static_cast<std::size_t>(full.size())));
+  for (const auto& b : blocks) {
+    const index_t bw = b.dom.cols();
+    if (bw == 0) continue;
+    for (index_t y = b.dom.y0; y < b.dom.y1; ++y) {
+      const V* src =
+          b.data.data() + static_cast<std::size_t>((y - b.dom.y0) * bw);
+      std::copy_n(src, static_cast<std::size_t>(bw), &out(y, b.dom.x0));
+    }
+  }
+  return out;
+}
+
+}  // namespace triolet::sched
+
+namespace triolet::serial {
+
+template <typename It>
+struct use_custom_codec<triolet::sched::Grant<It>> : std::true_type {};
+
+template <typename It>
+struct Codec<triolet::sched::Grant<It>> {
+  using G = triolet::sched::Grant<It>;
+  static void write(ByteWriter& w, const G& g) {
+    w.write_pod(g.done);
+    w.write_pod(g.atom_lo);
+    w.write_pod(g.atom_n);
+    w.write_pod(g.grain);
+    // `done` dismissals carry no task: a default-constructed iterator may
+    // hold sources that should not travel (and has nothing to say anyway).
+    if (!g.done) serial::write(w, g.task);
+  }
+  static void read(ByteReader& r, G& g) {
+    g.done = r.read_pod<std::uint8_t>();
+    g.atom_lo = r.read_pod<triolet::sched::index_t>();
+    g.atom_n = r.read_pod<triolet::sched::index_t>();
+    g.grain = r.read_pod<triolet::sched::index_t>();
+    if (!g.done) serial::read(r, g.task);
+  }
+};
+
+}  // namespace triolet::serial

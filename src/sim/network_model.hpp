@@ -56,6 +56,20 @@ struct NetworkModel {
   }
 };
 
+/// Worker-perceived cost of one scheduler control round trip (src/sched/
+/// request/grant protocol): the worker serializes and sends its request,
+/// the request flies to the root, the root receives it, builds and sends
+/// the grant, and the grant flies back and is deserialized. Root compute
+/// time between poll iterations is not priced here — the scheduler bounds
+/// it at one atom (see docs/INTERNALS.md "Distributed scheduling").
+inline double grant_overhead(const NetworkModel& net,
+                             std::int64_t request_bytes,
+                             std::int64_t grant_bytes) {
+  return net.send_busy(request_bytes) + net.flight(request_bytes) +
+         net.recv_busy(request_bytes) + net.send_busy(grant_bytes) +
+         net.flight(grant_bytes) + net.recv_busy(grant_bytes);
+}
+
 /// Virtual machine shape: `nodes` cluster nodes with `cores_per_node` cores,
 /// mirroring the paper's 8-node x 16-core EC2 system.
 struct MachineConfig {

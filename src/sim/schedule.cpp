@@ -65,6 +65,23 @@ double makespan_lpt(std::vector<double> tasks, int workers) {
   return list_schedule(tasks, workers);
 }
 
+double makespan_demand(const std::vector<double>& chunks, int workers,
+                       double overhead) {
+  TRIOLET_CHECK(workers >= 1, "need at least one worker");
+  TRIOLET_CHECK(overhead >= 0.0, "overhead must be non-negative");
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int w = 0; w < workers; ++w) free_at.push(0.0);
+  double makespan = 0.0;
+  for (double d : chunks) {
+    double start = free_at.top();
+    free_at.pop();
+    double finish = start + overhead + d;
+    makespan = std::max(makespan, finish);
+    free_at.push(finish);
+  }
+  return makespan;
+}
+
 double total_work(const std::vector<double>& tasks) {
   double sum = 0.0;
   for (double d : tasks) sum += d;

@@ -34,6 +34,17 @@ double makespan_static_block(const std::vector<double>& tasks, int workers);
 double makespan_static_cyclic(const std::vector<double>& tasks, int workers);
 double makespan_lpt(std::vector<double> tasks, int workers);
 
+/// Demand-driven (request/grant) makespan, modelling the src/sched/
+/// protocol: chunks are claimed in order by the earliest-free worker, and
+/// every claim first pays `overhead` seconds of control round trip
+/// (request up, grant down — see grant_overhead in network_model.hpp)
+/// before the chunk executes. With overhead == 0 this degenerates to
+/// makespan_dynamic; with large overheads it exposes the cost of
+/// fine-grained (kDynamic) scheduling that guided grant-size decay
+/// amortizes.
+double makespan_demand(const std::vector<double>& chunks, int workers,
+                       double overhead);
+
 /// Sum of task durations (the 1-worker makespan).
 double total_work(const std::vector<double>& tasks);
 

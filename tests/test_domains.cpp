@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "core/domains.hpp"
 
@@ -179,6 +180,105 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, SeqSplitProperty,
     ::testing::Combine(::testing::Values(0, 1, 7, 100, 1023),
                        ::testing::Values(1, 2, 3, 8, 128)));
+
+// -- degenerate split_blocks shapes (k > extent, empty domains) ---------------
+
+TEST(SplitBlocks, Dim2MoreChunksThanCellsStillPartitions) {
+  Dim2 d{0, 2, 0, 2};  // 4 cells, 16 chunks
+  auto chunks = split_blocks(d, 16);
+  ASSERT_EQ(chunks.size(), 16u);
+  index_t covered = 0;
+  for (const auto& c : chunks) {
+    EXPECT_GE(c.size(), 0);
+    covered += c.size();
+  }
+  EXPECT_EQ(covered, d.size());
+}
+
+TEST(SplitBlocks, EmptyDim2YieldsAllEmptyChunks) {
+  auto chunks = split_blocks(Dim2{3, 3, 0, 5}, 4);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), 0);
+}
+
+TEST(SplitBlocks, Dim3MoreChunksThanCellsStillPartitions) {
+  Dim3 d{0, 1, 0, 2, 0, 3};  // 6 cells, 12 chunks
+  auto chunks = split_blocks(d, 12);
+  ASSERT_EQ(chunks.size(), 12u);
+  index_t covered = 0;
+  std::set<std::tuple<index_t, index_t, index_t>> seen;
+  for (const auto& c : chunks) {
+    covered += c.size();
+    c.for_each([&](Index3 i) {
+      EXPECT_TRUE(seen.insert({i.z, i.y, i.x}).second) << "overlap";
+    });
+  }
+  EXPECT_EQ(covered, d.size());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(d.size()));
+}
+
+TEST(SplitBlocks, EmptyDim3YieldsAllEmptyChunks) {
+  auto chunks = split_blocks(Dim3{0, 0, 0, 4, 0, 4}, 8);
+  ASSERT_EQ(chunks.size(), 8u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), 0);
+}
+
+// -- outer-axis chunking (the scheduler's atom decomposition) -----------------
+
+TEST(OuterSlice, SeqExtentAndSlices) {
+  Seq d{10, 30};
+  EXPECT_EQ(outer_extent(d), 20);
+  EXPECT_EQ(outer_slice(d, 0, 5), (Seq{10, 15}));
+  EXPECT_EQ(outer_slice(d, 5, 20), (Seq{15, 30}));
+  // Clamped: requests past the extent stop at the boundary.
+  EXPECT_EQ(outer_slice(d, 15, 99), (Seq{25, 30}));
+  EXPECT_EQ(outer_slice(d, 99, 120), (Seq{30, 30}));
+  // Inverted requests collapse to an empty slice anchored at u0.
+  EXPECT_EQ(outer_slice(d, 7, 3).size(), 0);
+}
+
+TEST(OuterSlice, Dim2SlicesRowsKeepsColumnsWhole) {
+  Dim2 d{5, 15, 2, 9};
+  EXPECT_EQ(outer_extent(d), 10);
+  auto band = outer_slice(d, 3, 6);
+  EXPECT_EQ(band, (Dim2{8, 11, 2, 9}));
+  EXPECT_EQ(outer_slice(d, 0, 99), d);  // clamped to the full box
+  EXPECT_EQ(outer_slice(d, 10, 12).size(), 0);
+}
+
+TEST(OuterSlice, Dim3SlicesSlabsKeepsInnerAxesWhole) {
+  Dim3 d{1, 5, 0, 3, 0, 2};
+  EXPECT_EQ(outer_extent(d), 4);
+  auto slab = outer_slice(d, 1, 3);
+  EXPECT_EQ(slab, (Dim3{2, 4, 0, 3, 0, 2}));
+  EXPECT_EQ(outer_slice(d, 4, 9).size(), 0);
+}
+
+TEST(OuterSlice, EmptyDomainsHaveZeroExtent) {
+  EXPECT_EQ(outer_extent(Seq{4, 4}), 0);
+  EXPECT_EQ(outer_extent(Dim2{2, 2, 0, 9}), 0);
+  EXPECT_EQ(outer_extent(Dim3{3, 1, 0, 2, 0, 2}), 0);  // inverted
+  EXPECT_EQ(outer_slice(Seq{4, 4}, 0, 1).size(), 0);
+}
+
+TEST(OuterSlice, ConsecutiveSlicesPartitionTheDomain) {
+  // Chunking [0, extent) by a fixed grain through outer_slice must tile
+  // the domain exactly — the invariant the scheduler's atoms rely on.
+  Dim2 d{0, 13, 0, 7};
+  const index_t grain = 4;  // 13 rows -> atoms of 4,4,4,1
+  index_t rows_covered = 0;
+  index_t expected_y = d.y0;
+  for (index_t u = 0; u < outer_extent(d); u += grain) {
+    auto band = outer_slice(d, u, u + grain);
+    EXPECT_EQ(band.y0, expected_y);
+    EXPECT_EQ(band.x0, d.x0);
+    EXPECT_EQ(band.x1, d.x1);
+    expected_y = band.y1;
+    rows_covered += band.rows();
+  }
+  EXPECT_EQ(rows_covered, outer_extent(d));
+  EXPECT_EQ(expected_y, d.y1);
+}
 
 }  // namespace
 }  // namespace triolet::core

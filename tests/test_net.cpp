@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <numeric>
@@ -206,6 +207,134 @@ TEST(Mailbox, TryPopMatchesWithoutBlocking) {
   EXPECT_FALSE(mb.try_pop_match(1, kAnyTag, out));
   EXPECT_TRUE(mb.try_pop_match(2, 4, out));
   EXPECT_EQ(mb.size(), 0u);
+}
+
+// -- wildcard interleavings under concurrent senders --------------------------
+//
+// The demand-driven scheduler's service loop polls try_recv(kAnySource) on
+// one tag while many ranks send concurrently; these tests pin down the
+// exact semantics that loop relies on.
+
+TEST(ClusterWildcards, AnySourceTryRecvDrainsAllConcurrentSenders) {
+  const int p = 6;
+  auto res = Cluster::run(p, [&](Comm& c) {
+    if (c.rank() != 0) {
+      c.send(0, 7, c.rank());
+      return;
+    }
+    // Poll until every sender's message has been observed; a try_recv miss
+    // is not a failure, just "not yet".
+    std::map<int, int> seen;
+    while (seen.size() < static_cast<std::size_t>(p - 1)) {
+      if (auto m = c.try_recv_message(kAnySource, 7)) {
+        int v = serial::from_bytes<int>(m->payload);
+        EXPECT_EQ(v, m->src);  // envelope src matches the payload
+        EXPECT_EQ(seen.count(m->src), 0u) << "duplicate from " << m->src;
+        seen[m->src] = v;
+      }
+    }
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(ClusterWildcards, AnySourceBlockingRecvInterleavesWithSpecificTag) {
+  // Mixing a wildcard service tag with a directed data tag: wildcard recv
+  // on tag A must never swallow messages on tag B.
+  const int p = 4;
+  auto res = Cluster::run(p, [&](Comm& c) {
+    if (c.rank() != 0) {
+      c.send(0, 1, c.rank() * 10);  // data tag
+      c.send(0, 2, c.rank());      // service tag
+      return;
+    }
+    std::vector<int> service;
+    for (int i = 0; i < p - 1; ++i) {
+      Message m = c.recv_message(kAnySource, 2);
+      service.push_back(serial::from_bytes<int>(m.payload));
+    }
+    // All data-tag messages are still there, matchable by (src, tag).
+    for (int r = 1; r < p; ++r) {
+      EXPECT_EQ(c.recv<int>(r, 1), r * 10);
+    }
+    std::sort(service.begin(), service.end());
+    EXPECT_EQ(service, (std::vector<int>{1, 2, 3}));
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(ClusterWildcards, AnyTagPreservesPerSenderFifo) {
+  // kAnyTag from a fixed src must deliver that sender's messages in send
+  // order even when tags differ.
+  auto res = Cluster::run(2, [&](Comm& c) {
+    if (c.rank() == 1) {
+      for (int i = 0; i < 20; ++i) c.send(0, 100 + (i % 3), i);
+      return;
+    }
+    for (int i = 0; i < 20; ++i) {
+      Message m = c.recv_message(1, kAnyTag);
+      EXPECT_EQ(serial::from_bytes<int>(m.payload), i);
+      EXPECT_EQ(m.tag, 100 + (i % 3));
+    }
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(ClusterWildcards, RequestGrantProtocolUnderContention) {
+  // The scheduler idiom end to end: every worker loops request -> grant on
+  // the reserved scheduler tag band until the root says done; the root
+  // serves with try_recv polling. All work items are handed out exactly
+  // once no matter how requests interleave.
+  const int p = 5;
+  const int items = 57;
+  std::atomic<int> executed{0};
+  auto res = Cluster::run(p, [&](Comm& c) {
+    if (c.rank() == 0) {
+      int next = 0;
+      int done_sent = 0;
+      while (done_sent < p - 1) {
+        if (auto req = c.try_recv_message(kAnySource, kTagSchedRequest)) {
+          if (next < items) {
+            c.send(req->src, kTagSchedGrant, next++);
+          } else {
+            c.send(req->src, kTagSchedGrant, -1);
+            ++done_sent;
+          }
+        }
+      }
+      return;
+    }
+    std::vector<int> got;
+    while (true) {
+      c.send(0, kTagSchedRequest, std::uint8_t{0});
+      int item = c.recv<int>(0, kTagSchedGrant);
+      if (item < 0) break;
+      got.push_back(item);
+    }
+    // No duplicates within one worker; cross-worker disjointness follows
+    // from the total count below.
+    std::sort(got.begin(), got.end());
+    EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end());
+    executed += static_cast<int>(got.size());
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(executed.load(), items);
+}
+
+TEST(ClusterWildcards, SchedTagBandIsDisjointFromCollectives) {
+  // A pending (unconsumed-until-later) scheduler request must not disturb
+  // a collective running concurrently on the reserved collective band.
+  const int p = 4;
+  auto res = Cluster::run(p, [&](Comm& c) {
+    if (c.rank() != 0) c.send(0, kTagSchedRequest, std::uint8_t{0});
+    auto total = c.allreduce(1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(total, p);
+    if (c.rank() == 0) {
+      for (int i = 0; i < p - 1; ++i) {
+        (void)c.recv_message(kAnySource, kTagSchedRequest);
+      }
+    }
+  });
+  EXPECT_TRUE(res.ok) << res.error;
 }
 
 // Parameterized: collectives agree with a serial reference at many widths.

@@ -1,0 +1,451 @@
+// Tests for the demand-driven distributed scheduler (src/sched/): the
+// request/grant protocol end to end on real SPMD rank threads, every
+// SchedulePolicy compared against sequential execution and against the
+// other policies, plus the CommStats attribution of control traffic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/triolet.hpp"
+#include "dist/skeletons.hpp"
+#include "net/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace triolet::sched {
+namespace {
+
+using core::from_array;
+using core::index_t;
+using core::map;
+using core::Seq;
+using dist::NodeRuntime;
+
+const SchedulePolicy kAllPolicies[] = {
+    SchedulePolicy::kStatic, SchedulePolicy::kGuided, SchedulePolicy::kDynamic};
+
+Array1<double> random_array(index_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Array1<double> a(n);
+  for (index_t i = 0; i < n; ++i) a[i] = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+// -- policy grammar -----------------------------------------------------------
+
+TEST(SchedPolicy, ResolveGrainAndAtomCount) {
+  // Explicit grain wins; auto grain is extent / (8 * ranks) floored at 1.
+  EXPECT_EQ(resolve_grain(1000, 4, 10), 10);
+  EXPECT_EQ(resolve_grain(1000, 4, 0), 1000 / 32);
+  EXPECT_EQ(resolve_grain(5, 8, 0), 1);   // small extent floors at 1
+  EXPECT_EQ(resolve_grain(0, 8, 0), 1);   // empty extent still legal
+  EXPECT_EQ(atom_count(0, 1), 0);
+  EXPECT_EQ(atom_count(10, 3), 4);        // ceil(10/3)
+  EXPECT_EQ(atom_count(9, 3), 3);
+}
+
+TEST(SchedPolicy, GuidedRunDecaysGeometricallyToFloor) {
+  // Starting from R atoms on P ranks, successive grants shrink by about
+  // (1 - 1/(2P)) and reach the 1-atom floor without ever stalling.
+  index_t remaining = 1000;
+  const int ranks = 4;
+  index_t prev = remaining;
+  int grants = 0;
+  while (remaining > 0) {
+    index_t n = guided_run_atoms(remaining, ranks);
+    ASSERT_GE(n, 1);
+    ASSERT_LE(n, prev);
+    remaining -= std::min(remaining, n);
+    prev = n;
+    ++grants;
+    ASSERT_LT(grants, 10000) << "guided schedule failed to terminate";
+  }
+  EXPECT_GT(grants, ranks);  // strictly finer than one chunk per rank
+}
+
+// -- correctness across policies and widths -----------------------------------
+
+TEST(SchedSum, MatchesSequentialAcrossPoliciesAndWidths) {
+  auto xs = random_array(10000, 1);
+  double expect = 0;
+  for (index_t i = 0; i < xs.size(); ++i) expect += xs[i] * xs[i];
+
+  for (int nodes : {1, 2, 4, 8}) {
+    for (auto policy : kAllPolicies) {
+      SchedOptions opts{policy};
+      double got = 0;
+      auto res = net::Cluster::run(nodes, [&](net::Comm& comm) {
+        NodeRuntime node(2);
+        auto make = [&] {
+          return map(from_array(xs), [](double x) { return x * x; });
+        };
+        double r = dist::sum(comm, make, opts);
+        if (comm.rank() == 0) got = r;
+      });
+      ASSERT_TRUE(res.ok) << res.error;
+      EXPECT_NEAR(got, expect, 1e-9 * std::abs(expect))
+          << nodes << " nodes, " << to_string(policy);
+    }
+  }
+}
+
+TEST(SchedReduce, OrderedCombineIsBitwiseIdenticalAcrossPolicies) {
+  // Floating-point sums of wildly mixed magnitudes: any change in the
+  // combine parenthesization shows up in the low bits. The ordered path
+  // must produce the same bits under every policy because atoms and their
+  // fold order are policy-independent.
+  Xoshiro256 rng(7);
+  Array1<double> xs(4096);
+  for (index_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-12.0, 12.0));
+  }
+
+  std::vector<double> results;
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy, CombineMode::kOrdered, 64};
+    double got = 0;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] { return from_array(xs); };
+      double r = dist::reduce(comm, make, 0.0,
+                              [](double a, double b) { return a + b; }, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    results.push_back(got);
+  }
+  // Bitwise, not approximate: memcmp the representations.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&results[0], &results[i], sizeof(double)))
+        << to_string(kAllPolicies[i]) << " diverged from static: "
+        << results[0] << " vs " << results[i];
+  }
+}
+
+TEST(SchedReduce, OrderedCombineIsReproducibleRunToRun) {
+  auto xs = random_array(2000, 11);
+  SchedOptions opts{SchedulePolicy::kDynamic, CombineMode::kOrdered, 16};
+  double first = 0;
+  for (int run = 0; run < 3; ++run) {
+    double got = 0;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] { return from_array(xs); };
+      double r = dist::reduce(comm, make, 0.0,
+                              [](double a, double b) { return a + b; }, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    if (run == 0) {
+      first = got;
+    } else {
+      EXPECT_EQ(0, std::memcmp(&first, &got, sizeof(double)));
+    }
+  }
+}
+
+TEST(SchedCount, FilteredCountUnderEveryPolicy) {
+  // filter() turns the flat indexer into an indexer of steppers — the
+  // irregular shape the demand-driven scheduler exists for.
+  auto xs = random_array(9999, 5);
+  index_t expect = 0;
+  for (index_t i = 0; i < xs.size(); ++i) expect += (xs[i] > 0);
+
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy};
+    index_t got = -1;
+    auto res = net::Cluster::run(3, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] {
+        return core::filter(from_array(xs), [](double x) { return x > 0; });
+      };
+      index_t r = dist::count(comm, make, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(got, expect) << to_string(policy);
+  }
+}
+
+TEST(SchedHistogram, IntegerHistogramIdenticalAcrossPolicies) {
+  const index_t nbins = 32;
+  Xoshiro256 rng(9);
+  Array1<index_t> bins(5000);
+  std::vector<std::int64_t> expect(static_cast<std::size_t>(nbins), 0);
+  for (index_t i = 0; i < bins.size(); ++i) {
+    bins[i] = static_cast<index_t>(rng.next() % nbins);
+    expect[static_cast<std::size_t>(bins[i])] += 1;
+  }
+
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy};
+    Array1<std::int64_t> got;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] { return from_array(bins); };
+      auto r = dist::histogram(comm, nbins, make, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(got.size(), nbins) << to_string(policy);
+    for (index_t b = 0; b < nbins; ++b) {
+      EXPECT_EQ(got[b], expect[static_cast<std::size_t>(b)])
+          << to_string(policy) << " bin " << b;
+    }
+  }
+}
+
+TEST(SchedFloatHistogram, MatchesStaticWithinRounding) {
+  const index_t ncells = 16;
+  Xoshiro256 rng(13);
+  Array1<std::pair<index_t, double>> hits(3000);
+  std::vector<double> expect(static_cast<std::size_t>(ncells), 0.0);
+  for (index_t i = 0; i < hits.size(); ++i) {
+    index_t cell = static_cast<index_t>(rng.next() % ncells);
+    double w = rng.uniform(0.0, 1.0);
+    hits[i] = {cell, w};
+    expect[static_cast<std::size_t>(cell)] += w;
+  }
+
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy};
+    Array1<double> got;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] { return from_array(hits); };
+      auto r = dist::float_histogram<double>(comm, ncells, make, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(got.size(), ncells);
+    for (index_t c = 0; c < ncells; ++c) {
+      EXPECT_NEAR(got[c], expect[static_cast<std::size_t>(c)], 1e-9)
+          << to_string(policy) << " cell " << c;
+    }
+  }
+}
+
+TEST(SchedBuildArray1, AssemblesIdenticalArrayUnderEveryPolicy) {
+  auto xs = random_array(7777, 17);
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy};
+    Array1<double> got;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] {
+        return map(from_array(xs), [](double x) { return 2.0 * x + 1.0; });
+      };
+      auto r = dist::build_array1(comm, make, opts);
+      if (comm.rank() == 0) got = std::move(r);
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(got.size(), xs.size()) << to_string(policy);
+    for (index_t i = got.lo(); i < got.hi(); ++i) {
+      ASSERT_EQ(got[i], 2.0 * xs[i] + 1.0) << to_string(policy) << " @" << i;
+    }
+  }
+}
+
+TEST(SchedBuildArray2, RowBandsAssembleTheFullMatrix) {
+  const index_t h = 37, w = 23;
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy, CombineMode::kTree, 3};
+    Array2<index_t> got;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] {
+        return map(core::array_range(h, w),
+                   [](core::Index2 i) { return i.y * 1000 + i.x; });
+      };
+      auto r = dist::build_array2(comm, make, opts);
+      if (comm.rank() == 0) got = std::move(r);
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(got.rows(), h) << to_string(policy);
+    ASSERT_EQ(got.cols(), w) << to_string(policy);
+    for (index_t y = 0; y < h; ++y) {
+      for (index_t x = 0; x < w; ++x) {
+        ASSERT_EQ(got(y, x), y * 1000 + x)
+            << to_string(policy) << " @(" << y << "," << x << ")";
+      }
+    }
+  }
+}
+
+// -- stats attribution ---------------------------------------------------------
+
+TEST(SchedStatsAttribution, StaticHasNoRequestsDynamicHasMany) {
+  auto xs = random_array(4096, 21);
+  const int nodes = 4;
+  const index_t grain = 64;  // 64 atoms
+
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy, CombineMode::kTree, grain};
+    auto res = net::Cluster::run(nodes, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      // Each atom must cost real time, otherwise the root races through
+      // the whole queue before any worker's first request arrives and the
+      // grant counters legitimately read zero.
+      auto make = [&] {
+        return map(from_array(xs), [](double x) {
+          double v = x;
+          for (int k = 0; k < 400; ++k) v += std::sin(v) * 1e-3;
+          return v;
+        });
+      };
+      (void)dist::sum(comm, make, opts);
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    const net::SchedStats& s = res.total_stats.sched;
+
+    // Every element ran exactly once, wherever it ran.
+    EXPECT_EQ(s.items_executed, xs.size()) << to_string(policy);
+    EXPECT_GT(s.chunks_executed, 0) << to_string(policy);
+
+    if (policy == SchedulePolicy::kStatic) {
+      EXPECT_EQ(s.requests_sent, 0);
+      EXPECT_EQ(s.steal_waits, 0);
+      EXPECT_EQ(s.grants_served, nodes - 1);  // one push per worker
+    } else {
+      // Each worker sends at least one work request plus the final request
+      // answered with `done`; every request is matched by one response.
+      EXPECT_GE(s.requests_sent, nodes - 1) << to_string(policy);
+      EXPECT_EQ(s.steal_waits, s.requests_sent) << to_string(policy);
+      EXPECT_GT(s.grants_served, 0) << to_string(policy);
+      EXPECT_EQ(s.control_messages, 2 * s.requests_sent) << to_string(policy);
+      EXPECT_GT(s.control_bytes, 0) << to_string(policy);
+    }
+    if (policy == SchedulePolicy::kDynamic) {
+      // One grant per atom that workers ran: strictly more protocol
+      // traffic than guided on the same problem.
+      EXPECT_GE(s.requests_sent, s.grants_served);
+      EXPECT_GT(s.grants_served, nodes - 1);
+    }
+  }
+}
+
+// -- degenerate shapes ---------------------------------------------------------
+
+TEST(SchedDegenerate, EmptyDomainTerminatesAndSumsToZero) {
+  for (auto policy : kAllPolicies) {
+    for (auto combine : {CombineMode::kTree, CombineMode::kOrdered}) {
+      SchedOptions opts{policy, combine};
+      double got = -1;
+      auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+        NodeRuntime node(1);
+        auto make = [&] {
+          return map(core::range(5, 5), [](index_t) { return 1.0; });
+        };
+        double r = dist::reduce(comm, make, 0.0,
+                                [](double a, double b) { return a + b; },
+                                opts);
+        if (comm.rank() == 0) got = r;
+      });
+      ASSERT_TRUE(res.ok) << res.error;
+      EXPECT_EQ(got, 0.0) << to_string(policy);
+    }
+  }
+}
+
+TEST(SchedDegenerate, EmptyDomainBuildsEmptyArray) {
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy};
+    index_t got_size = -1;
+    auto res = net::Cluster::run(3, [&](net::Comm& comm) {
+      NodeRuntime node(1);
+      auto make = [&] {
+        return map(core::range(0, 0), [](index_t i) { return double(i); });
+      };
+      auto r = dist::build_array1(comm, make, opts);
+      if (comm.rank() == 0) got_size = r.size();
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(got_size, 0) << to_string(policy);
+  }
+}
+
+TEST(SchedDegenerate, MoreNodesThanAtoms) {
+  // 3 elements, grain 1 => 3 atoms on 8 nodes: most ranks get nothing and
+  // must still terminate (static sends them empty grants; demand answers
+  // their first request with done).
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy, CombineMode::kTree, 1};
+    double got = 0;
+    auto res = net::Cluster::run(8, [&](net::Comm& comm) {
+      NodeRuntime node(1);
+      auto make = [&] {
+        return map(core::range(0, 3), [](index_t i) { return double(i + 1); });
+      };
+      double r = dist::sum(comm, make, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(got, 6.0) << to_string(policy);
+  }
+}
+
+TEST(SchedDegenerate, GrainLargerThanExtentIsOneAtom) {
+  auto xs = random_array(100, 23);
+  double expect = 0;
+  for (index_t i = 0; i < xs.size(); ++i) expect += xs[i];
+
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy, CombineMode::kTree, 1000};
+    double got = 0;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(1);
+      auto make = [&] { return from_array(xs); };
+      double r = dist::sum(comm, make, opts);
+      if (comm.rank() == 0) got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_NEAR(got, expect, 1e-12) << to_string(policy);
+  }
+}
+
+TEST(SchedDegenerate, SingleRankRunsEverythingLocally) {
+  auto xs = random_array(500, 29);
+  double expect = 0;
+  for (index_t i = 0; i < xs.size(); ++i) expect += xs[i];
+
+  for (auto policy : kAllPolicies) {
+    SchedOptions opts{policy, CombineMode::kOrdered, 7};
+    double got = 0;
+    auto res = net::Cluster::run(1, [&](net::Comm& comm) {
+      NodeRuntime node(2);
+      auto make = [&] { return from_array(xs); };
+      double r = dist::sum(comm, make, opts);
+      got = r;
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_NEAR(got, expect, 1e-12) << to_string(policy);
+  }
+}
+
+// -- grant serialization -------------------------------------------------------
+
+TEST(SchedGrant, RoundTripsThroughCodec) {
+  auto xs = random_array(64, 31);
+  auto it = core::from_array(xs);
+  using It = decltype(it);
+
+  Grant<It> g{0, 3, 2, 8, it.slice(Seq{16, 32})};
+  auto bytes = serial::to_bytes(g);
+  auto back = serial::from_bytes<Grant<It>>(bytes);
+  EXPECT_EQ(back.done, 0);
+  EXPECT_EQ(back.atom_lo, 3);
+  EXPECT_EQ(back.atom_n, 2);
+  EXPECT_EQ(back.grain, 8);
+  EXPECT_EQ(back.task.domain(), (Seq{16, 32}));
+
+  // A done grant carries no task payload at all.
+  Grant<It> done{1, 0, 0, 8, {}};
+  auto done_bytes = serial::to_bytes(done);
+  EXPECT_EQ(done_bytes.size(), static_cast<std::size_t>(kGrantHeaderBytes));
+  auto done_back = serial::from_bytes<Grant<It>>(done_bytes);
+  EXPECT_EQ(done_back.done, 1);
+}
+
+}  // namespace
+}  // namespace triolet::sched

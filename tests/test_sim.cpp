@@ -6,6 +6,7 @@
 
 #include <numeric>
 
+#include "sim/network_model.hpp"
 #include "sim/schedule.hpp"
 #include "sim/trace.hpp"
 
@@ -207,6 +208,61 @@ TEST(MachineConfig, TotalCores) {
   m.nodes = 8;
   m.cores_per_node = 16;
   EXPECT_EQ(m.total_cores(), 128);
+}
+
+// -- demand-driven (request/grant) makespan model -----------------------------
+
+TEST(DemandMakespan, ZeroOverheadEqualsDynamic) {
+  std::vector<double> tasks{3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  for (int w : {1, 2, 4, 8}) {
+    EXPECT_DOUBLE_EQ(makespan_demand(tasks, w, 0.0),
+                     makespan_dynamic(tasks, w));
+  }
+}
+
+TEST(DemandMakespan, OverheadChargesEveryClaim) {
+  // One worker runs all chunks back to back: makespan is total work plus
+  // one control round trip per chunk.
+  std::vector<double> tasks{1, 2, 3};
+  EXPECT_DOUBLE_EQ(makespan_demand(tasks, 1, 0.5),
+                   total_work(tasks) + 3 * 0.5);
+}
+
+TEST(DemandMakespan, FineGrainsPayMoreOverheadThanCoarse) {
+  // The guided-vs-dynamic tradeoff in miniature: the same work split into
+  // 100 chunks pays 100 round trips, split into 10 chunks only 10. With
+  // enough overhead the fine split loses despite perfect balance.
+  std::vector<double> fine(100, 0.01);
+  std::vector<double> coarse(10, 0.1);
+  const double oh = 0.05;
+  EXPECT_GT(makespan_demand(fine, 4, oh), makespan_demand(coarse, 4, oh));
+}
+
+TEST(DemandMakespan, EmptyChunkListIsZero) {
+  EXPECT_DOUBLE_EQ(makespan_demand({}, 4, 1.0), 0.0);
+}
+
+TEST(DemandMakespan, SkewedChunksBeatStaticBlocks) {
+  // Triangular workload (tpacf-style): static blocks leave the last worker
+  // with the heaviest block; demand claiming balances it.
+  std::vector<double> tasks(64);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i] = static_cast<double>(i + 1);
+  }
+  const double demand = makespan_demand(tasks, 8, 0.0);
+  const double stat = makespan_static_block(tasks, 8);
+  EXPECT_LT(demand * 1.3, stat);
+}
+
+TEST(GrantOverhead, PricesTheFullRoundTrip) {
+  NetworkModel net;
+  const double oh = grant_overhead(net, 1, 25);
+  // Two flights plus four endpoint costs; must exceed two bare latencies
+  // and stay well under a millisecond for control-sized messages.
+  EXPECT_GT(oh, 2 * net.latency);
+  EXPECT_LT(oh, 1e-3);
+  // Bigger grants cost more (payload bytes ride the same round trip).
+  EXPECT_GT(grant_overhead(net, 1, 1 << 20), oh);
 }
 
 }  // namespace
