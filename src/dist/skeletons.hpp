@@ -33,6 +33,9 @@ namespace triolet::dist {
 using core::index_t;
 
 inline constexpr int kTagTask = 100;
+/// Tag base for the overlapped partial-result combine tree (one tag per
+/// tree round, user band).
+inline constexpr int kTagPartial = 101;
 
 /// Per-node threaded runtime. Each SPMD rank constructs one of these at the
 /// top of its body: the rank gets a private work-stealing pool (its "cores")
@@ -51,6 +54,11 @@ struct NodeRuntime {
 namespace detail {
 
 /// Root slices + scatters; every rank returns its own localpar-hinted chunk.
+/// The root posts every remote slice as an isend before touching its own
+/// chunk: serialization and delivery of P-1 slices run on the progress
+/// engine, overlapped with the root's local compute (slices own their data,
+/// so dropping the handles is safe; send errors resurface at the root's
+/// next blocking receive — the combine step).
 template <typename MakeIter>
 auto scatter_chunks(net::Comm& comm, MakeIter&& make) {
   using It = decltype(make());
@@ -58,11 +66,52 @@ auto scatter_chunks(net::Comm& comm, MakeIter&& make) {
     It it = make();
     auto chunks = core::split_blocks(it.domain(), comm.size());
     for (int r = 1; r < comm.size(); ++r) {
-      comm.send(r, kTagTask, it.slice(chunks[static_cast<std::size_t>(r)]));
+      (void)comm.isend(r, kTagTask,
+                       it.slice(chunks[static_cast<std::size_t>(r)]));
     }
     return core::localpar(it.slice(chunks[0]));
   }
   return core::localpar(comm.recv<It>(0, kTagTask));
+}
+
+/// Binomial-tree combine of per-node partials to rank 0 with the *same*
+/// fixed parenthesization as Comm::reduce rooted at 0 (bitwise identical
+/// results), but overlapped: every child's receive is posted before the
+/// local fold runs, so child partials queue while this node still computes,
+/// and each interior node folds them in fixed mask order as they complete.
+/// `fold` computes this node's own partial (the threaded local reduction);
+/// non-root ranks return a default T.
+template <typename Fold, typename Op>
+auto combine_tree(net::Comm& comm, Fold&& fold, Op op) {
+  using T = std::remove_cvref_t<decltype(fold())>;
+  const int p = comm.size();
+  const int r = comm.rank();
+  // Children of r are r + 2^k for each k below r's lowest set bit; the
+  // parent link is r - lowest_set_bit(r).
+  std::vector<net::PendingRecv> children;
+  int parent = -1, parent_round = 0;
+  int round = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++round) {
+    if (r & mask) {
+      parent = r - mask;
+      parent_round = round;
+      break;
+    }
+    if (r + mask < p) {
+      children.push_back(comm.irecv(r + mask, kTagPartial + round));
+    }
+  }
+  T acc = fold();
+  // Fixed fold order (ascending mask = ascending contiguous rank block),
+  // the determinism contract shared with Comm::reduce.
+  for (auto& child : children) {
+    acc = op(std::move(acc), child.get<T>());
+  }
+  if (parent >= 0) {
+    comm.send(parent, kTagPartial + parent_round, acc);
+    return T{};
+  }
+  return acc;
 }
 
 }  // namespace detail
@@ -72,8 +121,10 @@ auto scatter_chunks(net::Comm& comm, MakeIter&& make) {
 template <typename MakeIter, typename T, typename Op>
 T reduce(net::Comm& comm, MakeIter&& make, T init, Op op) {
   auto local = detail::scatter_chunks(comm, make);
-  T partial = core::reduce(local, std::move(init), op);
-  return comm.reduce(partial, op, 0);
+  // Overlapped combine: child partials are claimed while the local threaded
+  // fold runs; parenthesization matches Comm::reduce bit for bit.
+  return detail::combine_tree(
+      comm, [&] { return core::reduce(local, std::move(init), op); }, op);
 }
 
 /// Distributed sum (rank 0 gets the result).
@@ -176,8 +227,9 @@ template <typename MakeIter>
 Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
                                MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
-  Array1<std::int64_t> partial = core::histogram(nbins, local);
-  return comm.reduce(partial, detail::sum_arrays<Array1<std::int64_t>>, 0);
+  return detail::combine_tree(
+      comm, [&] { return core::histogram(nbins, local); },
+      detail::sum_arrays<Array1<std::int64_t>>);
 }
 
 /// Distributed floating-point histogram (cutcp's pattern). The output-grid
@@ -187,8 +239,9 @@ Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
 template <typename F, typename MakeIter>
 Array1<F> float_histogram(net::Comm& comm, index_t ncells, MakeIter&& make) {
   auto local = detail::scatter_chunks(comm, make);
-  Array1<F> partial = core::float_histogram<F>(ncells, local);
-  return comm.reduce(partial, detail::sum_arrays<Array1<F>>, 0);
+  return detail::combine_tree(
+      comm, [&] { return core::float_histogram<F>(ncells, local); },
+      detail::sum_arrays<Array1<F>>);
 }
 
 /// Distributed materialization of a 1D indexer: node chunks are built with

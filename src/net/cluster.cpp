@@ -5,12 +5,17 @@
 #include <thread>
 #include <vector>
 
+#include "net/tags.hpp"
 #include "support/macros.hpp"
 
 namespace triolet::net {
 
 ClusterResult Cluster::run(int nranks, const std::function<void(Comm&)>& body,
                            const ClusterOptions& options) {
+  // Startup audit: every reserved tag band (user, scheduler, async-progress,
+  // group relay, collectives) must be pairwise disjoint, or wildcard-free
+  // matching could steal another subsystem's messages.
+  assert_tag_bands_disjoint();
   ClusterState state(nranks, options.max_message_bytes);
 
   std::mutex result_mu;
@@ -20,6 +25,9 @@ ClusterResult Cluster::run(int nranks, const std::function<void(Comm&)>& body,
     Comm comm(rank, &state);
     try {
       body(comm);
+      // Drain queued isends so a fire-and-forget error surfaces as a rank
+      // failure rather than vanishing with the progress engine.
+      comm.flush_async();
     } catch (const ClusterAborted&) {
       // Secondary failure: this rank was blocked when a peer died.
     } catch (const std::exception& e) {
@@ -32,6 +40,9 @@ ClusterResult Cluster::run(int nranks, const std::function<void(Comm&)>& body,
       }
       state.abort_all();
     }
+    // Quiesce before reading stats: the progress engine may still be
+    // retiring cancelled ops after an abort.
+    comm.quiesce();
     std::lock_guard<std::mutex> lock(result_mu);
     result.total_stats += comm.stats();
   };

@@ -15,29 +15,92 @@ void ClusterState::abort_all() {
   for (auto& m : inboxes) m->interrupt();
 }
 
+void Comm::deliver_segments(int dst, int tag, serial::SegmentedBytes sg,
+                            int collective) {
+  Message m;
+  m.src = rank_;
+  m.tag = tag;
+  const auto zero_copy = static_cast<std::int64_t>(sg.bytes_borrowed());
+  const auto total = static_cast<std::int64_t>(sg.size());
+  // Assemble the payload: borrowed segments are copied exactly once, here,
+  // straight into the delivered message. A payload with no borrowed
+  // segments is the staging stream itself, moved rather than re-gathered.
+  if (!sg.take_flat(m.payload)) {
+    m.payload.resize(sg.size());
+    sg.gather_into(m.payload.data());
+  }
+  m.checksum = serial::checksum(m.payload);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += total;
+    stats_.bytes_zero_copy += zero_copy;
+    stats_.bytes_copied += total - zero_copy;
+    if (collective >= 0) {
+      auto& c = stats_.collectives[static_cast<std::size_t>(collective)];
+      c.messages_sent += 1;
+      c.bytes_sent += total;
+    }
+  }
+  state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+}
+
+void Comm::send_segments(int dst, int tag, serial::SegmentedBytes sg) {
+  check_dst(dst);
+  // Flush queued isends first so a blocking send can never overtake them
+  // (per-(src, tag) FIFO order is part of the mailbox contract).
+  flush_async();
+  deliver_segments(dst, tag, std::move(sg), active_collective_);
+}
+
 void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
-  TRIOLET_CHECK(dst >= 0 && dst < size(), "send to invalid rank");
-  TRIOLET_CHECK(dst != rank_, "self-sends are not supported; use local data");
+  check_dst(dst);
+  flush_async();
   Message m;
   m.src = rank_;
   m.tag = tag;
   m.checksum = serial::checksum(payload);
-  stats_.messages_sent += 1;
-  stats_.bytes_sent += static_cast<std::int64_t>(payload.size());
-  if (active_collective_ >= 0) {
-    auto& c = stats_.collectives[static_cast<std::size_t>(active_collective_)];
-    c.messages_sent += 1;
-    c.bytes_sent += static_cast<std::int64_t>(payload.size());
+  const auto total = static_cast<std::int64_t>(payload.size());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += total;
+    stats_.bytes_copied += total;
+    if (active_collective_ >= 0) {
+      auto& c =
+          stats_.collectives[static_cast<std::size_t>(active_collective_)];
+      c.messages_sent += 1;
+      c.bytes_sent += total;
+    }
   }
   m.payload = std::move(payload);
   state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
 }
 
-Message Comm::recv_message(int src, int tag) {
-  Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
-      src, tag, state_->aborted);
+PendingSend Comm::isend_bytes(int dst, int tag, std::vector<std::byte> payload) {
+  check_dst(dst);
+  auto buf = std::make_shared<std::vector<std::byte>>(std::move(payload));
+  return PendingSend(engine().post([this, dst, tag, buf] {
+    Message m;
+    m.src = rank_;
+    m.tag = tag;
+    m.checksum = serial::checksum(*buf);
+    const auto total = static_cast<std::int64_t>(buf->size());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.messages_sent += 1;
+      stats_.bytes_sent += total;
+      stats_.bytes_copied += total;
+    }
+    m.payload = std::move(*buf);
+    state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+  }));
+}
+
+void Comm::finish_recv(const Message& m) {
   TRIOLET_CHECK(serial::checksum(m.payload) == m.checksum,
                 "message payload failed checksum validation");
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.messages_received += 1;
   stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
   if (active_collective_ >= 0) {
@@ -45,6 +108,17 @@ Message Comm::recv_message(int src, int tag) {
     c.messages_received += 1;
     c.bytes_received += static_cast<std::int64_t>(m.payload.size());
   }
+}
+
+Message Comm::recv_message(int src, int tag) {
+  // Liveness rule: never block waiting for a message while holding
+  // undelivered outgoing isends — the peer we are waiting on may itself be
+  // waiting for one of them. Flushing also surfaces deferred isend errors
+  // at the first blocking receive instead of at body end.
+  flush_async();
+  Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
+      src, tag, state_->aborted);
+  finish_recv(m);
   return m;
 }
 
@@ -54,11 +128,34 @@ std::optional<Message> Comm::try_recv_message(int src, int tag) {
                                                                        m)) {
     return std::nullopt;
   }
-  TRIOLET_CHECK(serial::checksum(m.payload) == m.checksum,
-                "message payload failed checksum validation");
-  stats_.messages_received += 1;
-  stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  finish_recv(m);
   return m;
+}
+
+std::size_t wait_any(std::span<PendingRecv> recvs) {
+  TRIOLET_CHECK(!recvs.empty(), "wait_any on no receives");
+  Comm* comm = nullptr;
+  std::vector<std::pair<int, int>> patterns;
+  std::vector<std::size_t> index;  // pattern -> position in recvs
+  for (std::size_t i = 0; i < recvs.size(); ++i) {
+    auto& r = recvs[i];
+    TRIOLET_CHECK(r.valid(), "wait_any on an empty PendingRecv");
+    if (r.completed()) return i;
+    TRIOLET_CHECK(comm == nullptr || comm == r.comm_,
+                  "wait_any handles must share one Comm");
+    comm = r.comm_;
+    patterns.emplace_back(r.src_, r.tag_);
+    index.push_back(i);
+  }
+  std::size_t which = 0;
+  comm->flush_async();  // same liveness rule as recv_message
+  Message m = comm->state_->inboxes[static_cast<std::size_t>(comm->rank_)]
+                  ->pop_match_any(patterns, comm->state_->aborted, which);
+  comm->finish_recv(m);
+  auto& r = recvs[index[which]];
+  r.msg_ = std::move(m);
+  r.completed_ = true;
+  return index[which];
 }
 
 Comm::Group Comm::split(int color) {

@@ -26,33 +26,25 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/mailbox.hpp"
+#include "net/progress.hpp"
+#include "net/tags.hpp"
 #include "serial/checksum.hpp"
 #include "serial/serialize.hpp"
 #include "support/macros.hpp"
 
 namespace triolet::net {
-
-/// User tags must stay below this; larger tags are reserved for collectives.
-inline constexpr int kFirstReservedTag = 1 << 28;
-
-// Dedicated tag band for the demand-driven chunk scheduler (src/sched/).
-// Registered here, next to the collective bands, so the three reserved
-// regions are visible in one place: user task tags should stay below
-// kTagSchedBand, group-relay tags live at [1<<27, 1<<27 + 1<<20), and
-// collective rounds start at kFirstReservedTag. Requests travel root-ward
-// under kTagSchedRequest (always received with kAnySource) and grants come
-// back under kTagSchedGrant, so scheduler control traffic can never be
-// confused with task payloads or collective rounds.
-inline constexpr int kTagSchedBand = 1 << 26;
-inline constexpr int kTagSchedRequest = kTagSchedBand + 0;
-inline constexpr int kTagSchedGrant = kTagSchedBand + 1;
+// Reserved tag constants (kFirstReservedTag, kTagSchedBand / Request /
+// Grant, kTagAsyncBand, kTagGroupBand) live in net/tags.hpp, one registry
+// audited by assert_tag_bands_disjoint() at Cluster startup.
 
 /// Collective kinds tracked by the per-collective traffic counters.
 enum class Collective : int {
@@ -124,6 +116,13 @@ struct CommStats {
   std::int64_t messages_received = 0;
   std::int64_t bytes_received = 0;
 
+  /// Of bytes_sent: payload bytes that travelled as borrowed zero-copy
+  /// segments (large trivially-copyable array spans, copied once straight
+  /// into the delivered payload) vs. bytes staged through the serializer's
+  /// copy stream. bytes_zero_copy + bytes_copied == bytes_sent.
+  std::int64_t bytes_zero_copy = 0;
+  std::int64_t bytes_copied = 0;
+
   /// Per-collective breakdown, indexed by Collective. Traffic of a nested
   /// collective (e.g. the allgather inside split()) is attributed to the
   /// outermost one.
@@ -141,6 +140,8 @@ struct CommStats {
     bytes_sent += o.bytes_sent;
     messages_received += o.messages_received;
     bytes_received += o.bytes_received;
+    bytes_zero_copy += o.bytes_zero_copy;
+    bytes_copied += o.bytes_copied;
     for (std::size_t i = 0; i < kNumCollectives; ++i) {
       collectives[i] += o.collectives[i];
     }
@@ -160,6 +161,8 @@ struct ClusterState {
   void abort_all();
 };
 
+class PendingRecv;
+
 class Comm {
  public:
   Comm(int rank, ClusterState* state) : rank_(rank), state_(state) {}
@@ -172,10 +175,64 @@ class Comm {
   /// Sends raw bytes to `dst` under `tag`.
   void send_bytes(int dst, int tag, std::vector<std::byte> payload);
 
-  /// Serializes `v` and sends it.
+  /// Serializes `v` and sends it. Large trivially-copyable array spans in
+  /// `v` take the zero-copy path: they are gathered straight into the
+  /// delivered payload instead of being staged through the serializer
+  /// (counted in CommStats::bytes_zero_copy).
   template <typename T>
   void send(int dst, int tag, const T& v) {
-    send_bytes(dst, tag, serial::to_bytes(v));
+    serial::SegmentedBytes sg = serial::to_segments(v);
+    send_segments(dst, tag, sg);
+  }
+
+  /// Sends a pre-built scatter-gather payload (blocking; the borrowed
+  /// segments only need to live for the duration of the call).
+  void send_segments(int dst, int tag, serial::SegmentedBytes sg);
+
+  // -- asynchronous point to point --------------------------------------------
+  //
+  // isend hands the value to the per-rank progress engine: serialization,
+  // checksum, and delivery run on the engine thread, overlapping with the
+  // caller's compute. Posting order is delivery order (the engine is FIFO),
+  // and blocking sends flush the engine first, so async and sync sends to
+  // the same (dst, tag) can never reorder. irecv is a posted match: wait()
+  // blocks for it, test() polls, wait_any races several. All handles are
+  // cancelled with ClusterAborted if the cluster aborts.
+
+  /// Asynchronous typed send: takes `v` by value (moved into the engine)
+  /// so the caller's buffers are immediately reusable. Dropping the handle
+  /// detaches the send; its errors resurface on the next flush.
+  template <typename T>
+  PendingSend isend(int dst, int tag, T v) {
+    check_dst(dst);
+    auto value = std::make_shared<T>(std::move(v));
+    return PendingSend(engine().post([this, dst, tag, value] {
+      deliver_segments(dst, tag, serial::to_segments(*value),
+                       /*collective=*/-1);
+    }));
+  }
+
+  /// Asynchronous raw-bytes send.
+  PendingSend isend_bytes(int dst, int tag, std::vector<std::byte> payload);
+
+  /// Posts an asynchronous receive for (src, tag); wildcards as in recv.
+  PendingRecv irecv(int src, int tag);
+
+  /// Blocks until every engine-posted operation has completed; rethrows
+  /// the first error from detached sends. Called implicitly by blocking
+  /// sends (ordering) and by Cluster::run when the rank body returns.
+  void flush_async() {
+    if (engine_) engine_->flush();
+  }
+
+  /// flush_async for the shutdown path: never throws.
+  void quiesce() noexcept {
+    try {
+      flush_async();
+    } catch (...) {
+      // The first root-cause error was already recorded by the rank body
+      // or will be surfaced by the cluster's abort machinery.
+    }
   }
 
   /// Blocking receive matching (src, tag); wildcards kAnySource / kAnyTag.
@@ -494,6 +551,7 @@ class Comm {
         : comm_(&c), owner_(c.active_collective_ < 0) {
       if (owner_) {
         comm_->active_collective_ = static_cast<int>(k);
+        std::lock_guard<std::mutex> lock(comm_->stats_mu_);
         comm_->stats_.collectives[static_cast<std::size_t>(k)].calls += 1;
       }
     }
@@ -514,11 +572,114 @@ class Comm {
   /// rank's `bytes` out).
   void bcast_bytes(std::vector<std::byte>& bytes, int root, int tag_base);
 
+  friend class PendingRecv;
+
+  void check_dst(int dst) const {
+    TRIOLET_CHECK(dst >= 0 && dst < size(), "send to invalid rank");
+    TRIOLET_CHECK(dst != rank_, "self-sends are not supported; use local data");
+  }
+
+  /// The per-rank progress engine, started on first use.
+  ProgressEngine& engine() {
+    if (!engine_) {
+      engine_ = std::make_unique<ProgressEngine>(&state_->aborted);
+    }
+    return *engine_;
+  }
+
+  /// Assembles a scatter-gather payload into a Message and pushes it to
+  /// `dst`'s mailbox: the single copy of borrowed bytes. Runs on the rank
+  /// thread (blocking sends) or the engine thread (isends), so all stats
+  /// it touches go through stats_mu_.
+  void deliver_segments(int dst, int tag, serial::SegmentedBytes sg,
+                        int collective);
+
+  friend std::size_t wait_any(std::span<PendingRecv> recvs);
+
+  /// Checksum + receive-side accounting shared by every recv flavor.
+  void finish_recv(const Message& m);
+
   int rank_;
   ClusterState* state_;
   CommStats stats_;
+  /// Guards stats_: the progress engine records send traffic concurrently
+  /// with the rank thread's own sends/receives.
+  std::mutex stats_mu_;
+  std::unique_ptr<ProgressEngine> engine_;
   int active_collective_ = -1;
 };
+
+/// Waitable handle for one posted receive. Matching is pull-based: the
+/// message is claimed from the mailbox at wait()/test() time, so posting is
+/// free and several handles may race via wait_any. Completion is sticky —
+/// after the first successful wait()/test(), message() returns the match.
+class PendingRecv {
+ public:
+  PendingRecv() = default;
+
+  bool valid() const { return comm_ != nullptr; }
+  bool completed() const { return completed_; }
+
+  /// Blocks until the match arrives (throws ClusterAborted on abort).
+  Message& wait() {
+    TRIOLET_CHECK(valid(), "wait on an empty PendingRecv");
+    if (!completed_) {
+      msg_ = comm_->recv_message(src_, tag_);
+      completed_ = true;
+    }
+    return msg_;
+  }
+
+  /// Claims the match if it is already queued.
+  bool test() {
+    TRIOLET_CHECK(valid(), "test on an empty PendingRecv");
+    if (completed_) return true;
+    auto m = comm_->try_recv_message(src_, tag_);
+    if (!m) return false;
+    msg_ = std::move(*m);
+    completed_ = true;
+    return true;
+  }
+
+  /// Blocking typed receive: wait() + deserialize.
+  template <typename T>
+  T get() {
+    return serial::from_bytes<T>(wait().payload);
+  }
+
+  /// The matched message (only after completion).
+  Message& message() {
+    TRIOLET_CHECK(completed_, "message() before completion");
+    return msg_;
+  }
+
+ private:
+  friend class Comm;
+  friend std::size_t wait_any(std::span<PendingRecv> recvs);
+
+  PendingRecv(Comm* comm, int src, int tag)
+      : comm_(comm), src_(src), tag_(tag) {}
+
+  Comm* comm_ = nullptr;
+  int src_ = kAnySource;
+  int tag_ = kAnyTag;
+  bool completed_ = false;
+  Message msg_;
+};
+
+inline PendingRecv Comm::irecv(int src, int tag) {
+  return PendingRecv(this, src, tag);
+}
+
+/// Blocks until at least one receive in `recvs` has a match; completes it
+/// and returns its index. Already-completed handles win immediately. All
+/// handles must belong to the same Comm.
+std::size_t wait_any(std::span<PendingRecv> recvs);
+
+/// Completes every receive in `recvs` (in no particular order).
+inline void wait_all(std::span<PendingRecv> recvs) {
+  for (auto& r : recvs) r.wait();
+}
 
 /// A subgroup view over a parent communicator: translates group ranks to
 /// world ranks and runs group-scoped point-to-point and collectives. Tags
@@ -647,7 +808,7 @@ class Comm::Group {
   static constexpr int kGroupBarrier = kGroupCollBase + 3 * 64;
   static int group_tag(int tag) {
     TRIOLET_CHECK(tag >= 0 && tag < (1 << 20), "group tag out of range");
-    return (1 << 27) + tag;  // still below kFirstReservedTag
+    return kTagGroupBand + tag;  // audited band below kFirstReservedTag
   }
 
   Comm* parent_;

@@ -42,6 +42,37 @@ bool Mailbox::try_pop_match(int src, int tag, Message& out) {
   return match_locked(src, tag, out);
 }
 
+Message Mailbox::pop_match_any(std::span<const std::pair<int, int>> patterns,
+                               const std::atomic<bool>& aborted,
+                               std::size_t& which) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Message out;
+  bool found = false;
+  auto scan = [&] {
+    // Walk the queue (not the patterns) first so the earliest queued
+    // message wins even when several patterns could match.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      for (std::size_t p = 0; p < patterns.size(); ++p) {
+        const auto [src, tag] = patterns[p];
+        if ((src == kAnySource || it->src == src) &&
+            (tag == kAnyTag || it->tag == tag)) {
+          out = std::move(*it);
+          queue_.erase(it);
+          which = p;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  cv_.wait(lock, [&] {
+    found = scan();
+    return found || aborted.load(std::memory_order_acquire);
+  });
+  if (!found) throw ClusterAborted();
+  return out;
+}
+
 void Mailbox::interrupt() { cv_.notify_all(); }
 
 std::size_t Mailbox::size() const {

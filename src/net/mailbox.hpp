@@ -6,6 +6,8 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <span>
+#include <utility>
 
 #include "net/message.hpp"
 
@@ -28,6 +30,15 @@ class Mailbox {
 
   /// Non-blocking variant; returns false if no matching message is queued.
   bool try_pop_match(int src, int tag, Message& out);
+
+  /// Blocks until a message matching *any* of the (src, tag) patterns is
+  /// available; removes and returns it, setting `which` to the index of
+  /// the pattern that matched (the backing of wait_any over posted
+  /// receives). Wildcards and abort semantics as in pop_match. When
+  /// several patterns could match queued messages, the earliest queued
+  /// message wins, preserving per-(src, tag) FIFO delivery.
+  Message pop_match_any(std::span<const std::pair<int, int>> patterns,
+                        const std::atomic<bool>& aborted, std::size_t& which);
 
   /// Wakes all blocked receivers (used on abort).
   void interrupt();

@@ -1,0 +1,80 @@
+#include "net/progress.hpp"
+
+#include <utility>
+
+#include "net/message.hpp"
+
+namespace triolet::net {
+
+ProgressEngine::ProgressEngine(const std::atomic<bool>* aborted)
+    : aborted_(aborted), thread_([this] { loop(); }) {}
+
+ProgressEngine::~ProgressEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+std::shared_ptr<AsyncOpState> ProgressEngine::post(std::function<void()> op) {
+  auto state = std::make_shared<AsyncOpState>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(op), state);
+    in_flight_ += 1;
+  }
+  work_cv_.notify_one();
+  return state;
+}
+
+void ProgressEngine::flush() {
+  std::exception_ptr deferred;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    deferred = std::exchange(deferred_error_, nullptr);
+  }
+  if (deferred) std::rethrow_exception(deferred);
+}
+
+void ProgressEngine::loop() {
+  for (;;) {
+    std::pair<std::function<void()>, std::shared_ptr<AsyncOpState>> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    if (aborted_ && aborted_->load(std::memory_order_acquire)) {
+      // Cancellation: the cluster died; deliver nothing.
+      error = std::make_exception_ptr(ClusterAborted());
+    } else {
+      try {
+        item.first();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    // A failed op whose handle was dropped (the engine holds the only
+    // reference) has no one left to observe the error: defer it for the
+    // next flush. When a handle is still held, its holder collects the
+    // error from wait()/test() instead.
+    if (error && item.second.use_count() == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!deferred_error_) deferred_error_ = error;
+    }
+    item.second->complete(error);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= 1;
+      if (in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace triolet::net

@@ -1,0 +1,129 @@
+#pragma once
+
+// Per-rank asynchronous progress engine.
+//
+// `Comm::isend` returns immediately: the serialization, checksum, and
+// mailbox delivery of the message run on this engine's thread, overlapping
+// with the caller's computation (the MPI progress-thread model). Operations
+// posted by one rank execute in FIFO order, so two isends to the same
+// (dst, tag) are delivered in posting order and a blocking send that
+// flushes the engine first can never overtake an earlier isend.
+//
+// Error model: an operation that throws (e.g. BufferOverflow on a bounded
+// mailbox) completes its handle with the exception; `PendingSend::wait`
+// rethrows it. Fire-and-forget senders that drop the handle still hear
+// about the failure — when a failing op's handle is already dropped, the
+// engine keeps the first such deferred error and `flush()` rethrows it, and
+// Cluster::run flushes every rank's engine when its body returns. An error
+// whose handle is still held at completion is the holder's to collect via
+// wait()/test() (dropping such a handle unobserved loses the error). When
+// the cluster aborts, queued operations are cancelled: they complete with
+// ClusterAborted instead of executing.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace triolet::net {
+
+/// Completion state shared by a pending handle and the progress engine.
+struct AsyncOpState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+
+  void complete(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      error = std::move(e);
+    }
+    cv.notify_all();
+  }
+
+  /// Blocks until the operation completes; rethrows its error.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    if (error) std::rethrow_exception(error);
+  }
+
+  /// True once complete; rethrows the operation's error.
+  bool test() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (done && error) std::rethrow_exception(error);
+    return done;
+  }
+};
+
+/// Waitable handle for one asynchronous send. The payload (or the value an
+/// isend serializes) is owned by the engine until completion, so the caller
+/// may reuse its own buffers immediately; a *borrowed* zero-copy segment,
+/// however, references the engine-owned value, never caller memory.
+class PendingSend {
+ public:
+  PendingSend() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the message is delivered; rethrows delivery errors.
+  void wait() {
+    if (state_) state_->wait();
+  }
+
+  /// Non-blocking completion probe; rethrows delivery errors.
+  bool test() { return state_ ? state_->test() : true; }
+
+ private:
+  friend class Comm;
+  explicit PendingSend(std::shared_ptr<AsyncOpState> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<AsyncOpState> state_;
+};
+
+/// Waits for every send in `sends` (rethrows the first error encountered).
+template <typename Sends>
+void wait_all_sends(Sends& sends) {
+  for (auto& s : sends) s.wait();
+}
+
+class ProgressEngine {
+ public:
+  /// `aborted` is the cluster's abort flag: queued operations observed
+  /// after it rises are cancelled with ClusterAborted.
+  explicit ProgressEngine(const std::atomic<bool>* aborted);
+  ~ProgressEngine();
+
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Enqueues `op` for FIFO execution on the engine thread.
+  std::shared_ptr<AsyncOpState> post(std::function<void()> op);
+
+  /// Blocks until every posted operation has completed, then rethrows (and
+  /// clears) the first deferred error from operations whose handles were
+  /// dropped without waiting.
+  void flush();
+
+ private:
+  void loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // wakes the engine thread
+  std::condition_variable drain_cv_;  // wakes flush() waiters
+  std::deque<std::pair<std::function<void()>, std::shared_ptr<AsyncOpState>>>
+      queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr deferred_error_;
+  bool stop_ = false;
+  const std::atomic<bool>* aborted_;
+  std::thread thread_;  // last member: started after all state exists
+};
+
+}  // namespace triolet::net

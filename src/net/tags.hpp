@@ -1,0 +1,96 @@
+#pragma once
+
+// Reserved tag-band registry and audit.
+//
+// Three subsystems reserve tag regions out of the user tag space: the
+// demand-driven scheduler (1 << 26), the sub-communicator relay (1 << 27),
+// and the collectives (1 << 28 and up), plus the async progress-engine
+// control band added with isend/irecv. Each band used to be declared where
+// it was consumed; this registry lists every band in one table so a new
+// reservation that overlaps an existing one fails fast at Cluster startup
+// (assert_tag_bands_disjoint) instead of surfacing as cross-matched
+// messages under load.
+
+#include <span>
+#include <string>
+
+#include "support/macros.hpp"
+
+namespace triolet::net {
+
+/// Half-open tag range [lo, hi) reserved for one subsystem.
+struct TagBand {
+  const char* name;
+  int lo;
+  int hi;
+};
+
+/// User tags must stay below every reserved band.
+inline constexpr int kUserTagLimit = 1 << 26;
+
+// Dedicated tag band for the demand-driven chunk scheduler (src/sched/):
+// requests travel root-ward under kTagSchedRequest (always received with
+// kAnySource) and grants come back under kTagSchedGrant.
+inline constexpr int kTagSchedBand = 1 << 26;
+inline constexpr int kTagSchedRequest = kTagSchedBand + 0;
+inline constexpr int kTagSchedGrant = kTagSchedBand + 1;
+inline constexpr int kTagSchedBandEnd = kTagSchedBand + 64;
+
+// Async progress-engine control band: reserved for internal messages of the
+// isend/irecv machinery (e.g. a future rendezvous protocol for payloads
+// larger than the eager limit). No user or collective traffic may use it.
+inline constexpr int kTagAsyncBand = (1 << 26) + (1 << 16);
+inline constexpr int kTagAsyncBandEnd = kTagAsyncBand + 64;
+
+// Sub-communicator relay band: Comm::Group offsets group tags into
+// [1 << 27, 1 << 27 + 1 << 20), with group collectives at the top of it.
+inline constexpr int kTagGroupBand = 1 << 27;
+inline constexpr int kTagGroupBandEnd = (1 << 27) + (1 << 20);
+
+/// Collective rounds start here: one 64-tag band per collective kind, one
+/// tag per tree round within the band.
+inline constexpr int kFirstReservedTag = 1 << 28;
+inline constexpr int kCollectiveBandsEnd = kFirstReservedTag + (7 << 6);
+
+/// Every reserved band, plus the user space, in one table.
+inline std::span<const TagBand> reserved_tag_bands() {
+  static constexpr TagBand kBands[] = {
+      {"user", 0, kUserTagLimit},
+      {"sched", kTagSchedBand, kTagSchedBandEnd},
+      {"async-progress", kTagAsyncBand, kTagAsyncBandEnd},
+      {"group-relay", kTagGroupBand, kTagGroupBandEnd},
+      {"collectives", kFirstReservedTag, kCollectiveBandsEnd},
+  };
+  return kBands;
+}
+
+/// True when no two bands in `bands` overlap; on failure, `why` (if
+/// non-null) names the offending pair.
+inline bool tag_bands_disjoint(std::span<const TagBand> bands,
+                               std::string* why = nullptr) {
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    if (bands[i].lo >= bands[i].hi) {
+      if (why) *why = std::string("band '") + bands[i].name + "' is empty or inverted";
+      return false;
+    }
+    for (std::size_t j = i + 1; j < bands.size(); ++j) {
+      if (bands[i].lo < bands[j].hi && bands[j].lo < bands[i].hi) {
+        if (why) {
+          *why = std::string("tag bands overlap: '") + bands[i].name +
+                 "' and '" + bands[j].name + "'";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Fails fast if any two reserved bands overlap. Called from Cluster
+/// startup so a bad band constant can never ship a single message.
+inline void assert_tag_bands_disjoint() {
+  std::string why;
+  TRIOLET_CHECK(tag_bands_disjoint(reserved_tag_bands(), &why), why.c_str());
+}
+
+}  // namespace triolet::net

@@ -55,6 +55,12 @@ struct SchedOptions {
   /// Atom size in outer-domain units (Seq indices / Dim2 rows / Dim3
   /// slabs). 0 = auto: extent / (8 * ranks), floored at one unit.
   index_t grain = 0;
+  /// Grant double-buffering (kGuided/kDynamic only): a worker posts the
+  /// request for its next run *before* executing the current one, so the
+  /// root's service round trip overlaps the run's compute instead of
+  /// preceding it. Never changes which atoms exist or how kOrdered combines
+  /// them — results stay bitwise identical with it on or off.
+  bool prefetch = true;
 };
 
 inline const char* to_string(SchedulePolicy p) {

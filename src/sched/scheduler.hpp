@@ -100,20 +100,40 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
                           on_chunk);
       return;
     }
-    // Demand-driven: request until dismissed.
-    while (true) {
-      comm.send(0, net::kTagSchedRequest, std::uint8_t{0});
+    // Demand-driven: request until dismissed. At most one request is ever
+    // outstanding (the termination invariant the root's done-counting
+    // relies on); prefetch only moves *when* it is posted.
+    auto post_request = [&] {
+      if (opts.prefetch) {
+        (void)comm.isend(0, net::kTagSchedRequest, std::uint8_t{0});
+      } else {
+        comm.send(0, net::kTagSchedRequest, std::uint8_t{0});
+      }
       sched.requests_sent += 1;
       sched.control_messages += 1;
       sched.control_bytes += 1;
+      return comm.irecv(0, net::kTagSchedGrant);
+    };
+    net::PendingRecv next_grant = post_request();
+    while (true) {
       Stopwatch wait;
-      Grant<It> g = comm.recv<Grant<It>>(0, net::kTagSchedGrant);
+      Grant<It> g = next_grant.get<Grant<It>>();
       sched.idle_seconds += wait.seconds();
       sched.steal_waits += 1;
       if (g.done) break;
       sched.grants_received += 1;
-      detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
-                          on_chunk);
+      if (opts.prefetch) {
+        // Double-buffered grants: the request for run k+1 is already in
+        // flight while run k executes, hiding the service round trip
+        // behind compute.
+        next_grant = post_request();
+        detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
+                            on_chunk);
+      } else {
+        detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
+                            on_chunk);
+        next_grant = post_request();
+      }
     }
     return;
   }
@@ -139,8 +159,10 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     for (int r = 1; r < p; ++r) {
       const index_t a = natoms * r / p;
       const index_t b = natoms * (r + 1) / p;
-      Grant<It> g{0, a, b - a, grain, slice_run(a, b)};
-      comm.send(r, net::kTagSchedGrant, g);
+      // isend: serialization and delivery of the pushed grants run on the
+      // progress engine while the root executes its own block below.
+      (void)comm.isend(r, net::kTagSchedGrant,
+                       Grant<It>{0, a, b - a, grain, slice_run(a, b)});
       sched.grants_served += 1;
       sched.control_messages += 1;
       sched.control_bytes += kGrantHeaderBytes;
@@ -158,14 +180,18 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
   auto serve = [&](int requester) {
     const index_t remaining = natoms - next;
     if (remaining <= 0) {
-      comm.send(requester, net::kTagSchedGrant, Grant<It>{1, 0, 0, grain, {}});
+      (void)comm.isend(requester, net::kTagSchedGrant,
+                       Grant<It>{1, 0, 0, grain, {}});
       done_sent += 1;
     } else {
       const index_t n = opts.policy == SchedulePolicy::kDynamic
                             ? 1
                             : std::min(remaining, guided_run_atoms(remaining, p));
-      Grant<It> g{0, next, n, grain, slice_run(next, next + n)};
-      comm.send(requester, net::kTagSchedGrant, g);
+      // Grants leave through the progress engine: the root can resume its
+      // own atom (or serve the next request) while the grant's task slice
+      // serializes and delivers off-thread.
+      (void)comm.isend(requester, net::kTagSchedGrant,
+                       Grant<It>{0, next, n, grain, slice_run(next, next + n)});
       next += n;
       sched.grants_served += 1;
     }

@@ -7,9 +7,20 @@
 // low-level halves of that facility: a growable output buffer and a
 // bounds-checked input cursor. Pointer-free arrays take the block-copy fast
 // path through `write_raw`/`read_raw`.
+//
+// Zero-copy path: a writer opened in *segment mode* records large
+// trivially-copyable array spans as borrowed iovec segments instead of
+// memcpy'ing them into the staging buffer. `take_segments()` returns the
+// scatter-gather list; the net:: substrate assembles it directly into the
+// delivered payload, so bulk array bytes are copied once (source -> wire)
+// instead of twice (source -> staging buffer -> wire). Borrowed spans must
+// stay alive and unmodified until the segments are gathered — the same
+// contract MPI_Isend places on its buffer until MPI_Wait.
 
+#include <atomic>
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -17,15 +28,114 @@
 
 namespace triolet::serial {
 
+/// Spans at least this large take the borrowed (zero-copy) path when the
+/// writer is in segment mode; smaller spans are cheaper to memcpy into the
+/// staging stream than to track as separate iovec entries.
+inline constexpr std::size_t kBorrowThresholdBytes = 1024;
+
+/// A scatter-gather view of one serialized payload: the copied staging
+/// stream plus an ordered segment list. Owned segments reference ranges of
+/// `owned`; borrowed segments reference caller memory that must outlive the
+/// gather.
+class SegmentedBytes {
+ public:
+  struct Segment {
+    bool borrowed;
+    std::size_t owned_offset;    // valid when !borrowed
+    const std::byte* ext;        // valid when borrowed
+    std::size_t len;
+  };
+
+  SegmentedBytes() = default;
+  SegmentedBytes(std::vector<std::byte> owned, std::vector<Segment> segments,
+                 std::size_t total)
+      : owned_(std::move(owned)), segments_(std::move(segments)),
+        total_(total) {}
+
+  std::size_t size() const { return total_; }
+
+  /// Bytes that took the borrowed (zero-copy) path.
+  std::size_t bytes_borrowed() const {
+    std::size_t n = 0;
+    for (const auto& s : segments_) {
+      if (s.borrowed) n += s.len;
+    }
+    return n;
+  }
+  /// Bytes that went through the copied staging stream.
+  std::size_t bytes_owned() const { return total_ - bytes_borrowed(); }
+
+  /// Assembles the logical byte stream into `dst` (caller guarantees room
+  /// for size() bytes). This is the single copy of the borrowed data.
+  void gather_into(std::byte* dst) const {
+    for (const auto& s : segments_) {
+      const std::byte* src = s.borrowed ? s.ext : owned_.data() + s.owned_offset;
+      if (s.len != 0) std::memcpy(dst, src, s.len);
+      dst += s.len;
+    }
+  }
+
+  /// Flattens into a fresh vector (the non-zero-copy fallback).
+  std::vector<std::byte> gather() const {
+    std::vector<std::byte> out(total_);
+    gather_into(out.data());
+    return out;
+  }
+
+  /// When nothing was borrowed the staging stream *is* the payload: steal
+  /// it instead of gathering, so small fully-copied messages cost a move
+  /// (the pre-segment behavior). Returns false if any segment is borrowed.
+  bool take_flat(std::vector<std::byte>& out) {
+    if (bytes_borrowed() != 0) return false;
+    out = std::move(owned_);
+    segments_.clear();
+    total_ = 0;
+    return true;
+  }
+
+  std::span<const Segment> segments() const { return segments_; }
+
+ private:
+  std::vector<std::byte> owned_;
+  std::vector<Segment> segments_;
+  std::size_t total_ = 0;
+};
+
 class ByteWriter {
  public:
   ByteWriter() = default;
+
+  /// A writer in segment mode records large spans passed to
+  /// write_borrowable() as borrowed segments; harvest with take_segments().
+  static ByteWriter segmented() {
+    ByteWriter w;
+    w.segment_mode_ = true;
+    return w;
+  }
+
+  bool segment_mode() const { return segment_mode_; }
 
   void reserve(std::size_t n) { buf_.reserve(n); }
 
   void write_raw(const void* data, std::size_t n) {
     const auto* p = static_cast<const std::byte*>(data);
     buf_.insert(buf_.end(), p, p + n);
+    total_ += n;
+  }
+
+  /// Like write_raw, but in segment mode spans of at least
+  /// kBorrowThresholdBytes are recorded as borrowed segments — the caller
+  /// promises `data` stays alive and unmodified until the segments are
+  /// gathered. Outside segment mode this is exactly write_raw.
+  void write_borrowable(const void* data, std::size_t n) {
+    if (!segment_mode_ || n < kBorrowThresholdBytes) {
+      write_raw(data, n);
+      return;
+    }
+    flush_owned_segment();
+    segments_.push_back(
+        {true, 0, static_cast<const std::byte*>(data), n});
+    total_ += n;
   }
 
   template <typename T>
@@ -34,12 +144,64 @@ class ByteWriter {
     write_raw(&v, sizeof(T));
   }
 
-  std::size_t size() const { return buf_.size(); }
-  std::span<const std::byte> bytes() const { return buf_; }
-  std::vector<std::byte> take() { return std::move(buf_); }
+  /// Logical stream size (owned + borrowed).
+  std::size_t size() const { return total_; }
+
+  /// The flat stream; only valid outside segment mode (borrowed bytes are
+  /// not in the staging buffer).
+  std::span<const std::byte> bytes() const {
+    TRIOLET_CHECK(segments_.empty(), "bytes() on a segmented writer");
+    return buf_;
+  }
+
+  std::vector<std::byte> take() {
+    TRIOLET_CHECK(segments_.empty(), "take() on a segmented writer");
+    total_ = 0;
+    return std::move(buf_);
+  }
+
+  /// Harvests the scatter-gather list (segment mode only).
+  SegmentedBytes take_segments() {
+    flush_owned_segment();
+    SegmentedBytes out(std::move(buf_), std::move(segments_), total_);
+    buf_.clear();
+    segments_.clear();
+    total_ = 0;
+    owned_flushed_ = 0;
+    return out;
+  }
 
  private:
+  /// Closes the current owned range [owned_flushed_, buf_.size()) into a
+  /// segment. Offsets (not pointers) are recorded because buf_ reallocates
+  /// as it grows.
+  void flush_owned_segment() {
+    if (buf_.size() > owned_flushed_) {
+      segments_.push_back(
+          {false, owned_flushed_, nullptr, buf_.size() - owned_flushed_});
+      owned_flushed_ = buf_.size();
+    }
+  }
+
   std::vector<std::byte> buf_;
+  std::vector<SegmentedBytes::Segment> segments_;
+  std::size_t total_ = 0;
+  std::size_t owned_flushed_ = 0;
+  bool segment_mode_ = false;
+};
+
+/// Debug-mode lifetime sentinel for zero-copy reads. Spans handed out by
+/// ByteReader::borrow() point into the underlying payload; whoever owns that
+/// payload can retire the sentinel when the buffer is freed or recycled, and
+/// any later borrow through the same reader aborts instead of silently
+/// reading freed memory.
+class BorrowSentinel {
+ public:
+  void retire() { retired_.store(true, std::memory_order_release); }
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> retired_{false};
 };
 
 class ByteReader {
@@ -47,7 +209,7 @@ class ByteReader {
   explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
 
   void read_raw(void* out, std::size_t n) {
-    TRIOLET_CHECK(pos_ + n <= bytes_.size(),
+    TRIOLET_CHECK(n <= bytes_.size() - pos_,
                   "deserialization read past end of buffer");
     std::memcpy(out, bytes_.data() + pos_, n);
     pos_ += n;
@@ -61,14 +223,31 @@ class ByteReader {
     return v;
   }
 
-  /// Borrow `n` bytes in place without copying (valid while the underlying
-  /// buffer lives). Used by the array block-copy fast path.
-  std::span<const std::byte> view_raw(std::size_t n) {
-    TRIOLET_CHECK(pos_ + n <= bytes_.size(),
-                  "deserialization view past end of buffer");
+  /// Borrow `n` bytes in place without copying. The bounds check runs
+  /// before the cursor moves (and is written overflow-safe: `pos_ + n`
+  /// could wrap for a hostile length header), so a failed borrow leaves the
+  /// reader position untouched. The span is valid only while the underlying
+  /// payload lives; debug builds additionally check the lifetime sentinel
+  /// on every borrow.
+  std::span<const std::byte> borrow(std::size_t n) {
+    TRIOLET_CHECK(n <= bytes_.size() - pos_,
+                  "deserialization borrow past end of buffer");
+#ifndef NDEBUG
+    TRIOLET_CHECK(!sentinel_ || !sentinel_->retired(),
+                  "borrow from a retired payload (use-after-free)");
+#endif
     auto s = bytes_.subspan(pos_, n);
     pos_ += n;
     return s;
+  }
+
+  /// Historical name for borrow().
+  std::span<const std::byte> view_raw(std::size_t n) { return borrow(n); }
+
+  /// Attaches the payload owner's lifetime sentinel (debug builds assert it
+  /// on every borrow; release builds keep it only as documentation).
+  void set_sentinel(std::shared_ptr<const BorrowSentinel> s) {
+    sentinel_ = std::move(s);
   }
 
   std::size_t remaining() const { return bytes_.size() - pos_; }
@@ -77,6 +256,7 @@ class ByteReader {
  private:
   std::span<const std::byte> bytes_;
   std::size_t pos_ = 0;
+  std::shared_ptr<const BorrowSentinel> sentinel_;
 };
 
 }  // namespace triolet::serial

@@ -86,7 +86,9 @@ struct Codec<std::vector<T>> {
   static void write(ByteWriter& w, const std::vector<T>& v) {
     w.write_pod<std::uint64_t>(v.size());
     if constexpr (std::is_trivially_copyable_v<T>) {
-      w.write_raw(v.data(), v.size() * sizeof(T));  // block copy
+      // Block copy; on a segment-mode writer, large spans are recorded as
+      // borrowed iovec segments instead (the zero-copy send path).
+      w.write_borrowable(v.data(), v.size() * sizeof(T));
     } else {
       for (const auto& e : v) serial::write(w, e);
     }
@@ -123,7 +125,7 @@ template <>
 struct Codec<std::string> {
   static void write(ByteWriter& w, const std::string& v) {
     w.write_pod<std::uint64_t>(v.size());
-    w.write_raw(v.data(), v.size());
+    w.write_borrowable(v.data(), v.size());
   }
   static void read(ByteReader& r, std::string& v) {
     const auto n = r.read_pod<std::uint64_t>();
@@ -247,6 +249,17 @@ std::vector<std::byte> to_bytes(const T& v) {
   ByteWriter w;
   write(w, v);
   return w.take();
+}
+
+/// Serializes `v` as a scatter-gather list: large trivially-copyable array
+/// spans are *borrowed*, not copied, so `v` (and anything it references)
+/// must outlive the returned SegmentedBytes until it is gathered. The
+/// net:: substrate uses this for its zero-copy send path.
+template <typename T>
+SegmentedBytes to_segments(const T& v) {
+  ByteWriter w = ByteWriter::segmented();
+  write(w, v);
+  return w.take_segments();
 }
 
 template <typename T>

@@ -45,6 +45,17 @@ double makespan_lpt(std::vector<double> tasks, int workers);
 double makespan_demand(const std::vector<double>& chunks, int workers,
                        double overhead);
 
+/// Demand-driven makespan with request prefetch (SchedOptions::prefetch):
+/// a worker posts the request for chunk k+1 before executing chunk k, so
+/// the control round trip overlaps the current chunk's compute. The next
+/// chunk starts at max(finish_k, claim_k + overhead) — the round trip is
+/// fully hidden whenever a chunk runs at least `overhead` seconds; only
+/// each worker's first claim pays it unconditionally. With overhead == 0
+/// this degenerates to makespan_dynamic, and it is never worse than
+/// makespan_demand on the same inputs.
+double makespan_overlap(const std::vector<double>& chunks, int workers,
+                        double overhead);
+
 /// Sum of task durations (the 1-worker makespan).
 double total_work(const std::vector<double>& tasks);
 

@@ -123,6 +123,38 @@ TEST(SchedReduce, OrderedCombineIsBitwiseIdenticalAcrossPolicies) {
   }
 }
 
+TEST(SchedReduce, OrderedCombineIsBitwiseIdenticalWithPrefetchOnAndOff) {
+  // Grant prefetch changes *when* a worker requests its next run (and thus
+  // possibly which rank executes which atom), but never the atom
+  // decomposition or the ordered fold, so the kOrdered result must be the
+  // same bits with prefetch on and off, for every demand-driven policy.
+  Xoshiro256 rng(23);
+  Array1<double> xs(4096);
+  for (index_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-12.0, 12.0));
+  }
+
+  for (auto policy : {SchedulePolicy::kGuided, SchedulePolicy::kDynamic}) {
+    std::vector<double> results;
+    for (bool prefetch : {true, false}) {
+      SchedOptions opts{policy, CombineMode::kOrdered, 64, prefetch};
+      double got = 0;
+      auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+        NodeRuntime node(2);
+        auto make = [&] { return from_array(xs); };
+        double r = dist::reduce(comm, make, 0.0,
+                                [](double a, double b) { return a + b; }, opts);
+        if (comm.rank() == 0) got = r;
+      });
+      ASSERT_TRUE(res.ok) << res.error;
+      results.push_back(got);
+    }
+    EXPECT_EQ(0, std::memcmp(&results[0], &results[1], sizeof(double)))
+        << to_string(policy) << ": prefetch on " << results[0]
+        << " vs off " << results[1];
+  }
+}
+
 TEST(SchedReduce, OrderedCombineIsReproducibleRunToRun) {
   auto xs = random_array(2000, 11);
   SchedOptions opts{SchedulePolicy::kDynamic, CombineMode::kOrdered, 16};

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -121,6 +122,98 @@ TEST(ByteReader, ViewRawBorrowsWithoutCopy) {
   auto s = r.view_raw(8);
   EXPECT_EQ(s.data(), buf.data());
   EXPECT_EQ(r.remaining(), 8u);
+}
+
+TEST(ByteReader, BorrowPastEndIsRejectedBeforeAdvancing) {
+  std::vector<std::byte> buf(8, std::byte{1});
+  ByteReader r(buf);
+  EXPECT_DEATH((void)r.borrow(9), "borrow past end");
+}
+
+TEST(ByteReader, BorrowBoundsCheckSurvivesOverflowingLength) {
+  // A hostile length header near SIZE_MAX must not wrap the bounds check.
+  std::vector<std::byte> buf(8, std::byte{1});
+  ByteReader r(buf);
+  (void)r.borrow(4);
+  EXPECT_DEATH((void)r.borrow(static_cast<std::size_t>(-3)), "borrow past end");
+}
+
+#ifndef NDEBUG
+TEST(ByteReader, RetiredSentinelAbortsLaterBorrows) {
+  std::vector<std::byte> buf(16, std::byte{7});
+  auto sentinel = std::make_shared<BorrowSentinel>();
+  ByteReader r(buf);
+  r.set_sentinel(sentinel);
+  (void)r.borrow(4);  // fine while the payload owner is alive
+  sentinel->retire();
+  EXPECT_DEATH((void)r.borrow(4), "retired payload");
+}
+#endif
+
+// -- edge cases of the wire format -------------------------------------------
+
+TEST(SerializeEdge, EmptyVectorsRoundTrip) {
+  expect_roundtrip(std::vector<double>{});
+  expect_roundtrip(std::vector<std::string>{});
+  expect_roundtrip(std::vector<std::vector<int>>{});
+  expect_roundtrip(std::string{});
+}
+
+TEST(SerializeEdge, NestedVectorOfVectorsRoundTrips) {
+  // Inner vectors straddle the borrow threshold, so a segmented writer mixes
+  // copied and borrowed segments within one value.
+  std::vector<std::vector<double>> v;
+  v.push_back({});                              // empty inner
+  v.push_back(std::vector<double>(3, 1.5));     // below threshold
+  v.push_back(std::vector<double>(1000, -2.0)); // above threshold
+  expect_roundtrip(v);
+  auto sg = to_segments(v);
+  EXPECT_EQ(sg.gather(), to_bytes(v));
+  EXPECT_GT(sg.bytes_borrowed(), 0u);
+}
+
+TEST(SerializeEdge, OptionalOfArraysRoundTrips) {
+  expect_roundtrip(std::optional<std::array<double, 4>>{});
+  expect_roundtrip(std::optional<std::array<double, 4>>{{1.0, 2.0, 3.0, 4.0}});
+  expect_roundtrip(std::optional<std::vector<double>>{});
+  expect_roundtrip(
+      std::optional<std::vector<double>>{std::vector<double>(500, 0.25)});
+}
+
+TEST(SerializeEdge, BorrowThresholdBoundaryRoundTripsAndChecksums) {
+  // Payload spans of exactly threshold-1 / threshold / threshold+1 bytes:
+  // the first is copied, the others borrowed — all must round-trip and
+  // produce identical bytes (and checksums) on both paths.
+  for (std::size_t n : {kBorrowThresholdBytes - 1, kBorrowThresholdBytes,
+                        kBorrowThresholdBytes + 1}) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+    expect_roundtrip(v);
+    auto flat = to_bytes(v);
+    auto sg = to_segments(v);
+    EXPECT_EQ(sg.size(), flat.size());
+    EXPECT_EQ(sg.bytes_borrowed(), n < kBorrowThresholdBytes ? 0u : n);
+    EXPECT_EQ(sg.gather(), flat);
+    EXPECT_EQ(checksum(sg.gather()), checksum(flat));
+  }
+}
+
+TEST(SerializeEdge, TakeFlatStealsFullyCopiedStreams) {
+  std::vector<std::uint8_t> small(16, 9);
+  auto sg = to_segments(small);
+  EXPECT_EQ(sg.bytes_borrowed(), 0u);
+  std::vector<std::byte> out;
+  EXPECT_TRUE(sg.take_flat(out));
+  EXPECT_EQ(out, to_bytes(small));
+
+  std::vector<std::uint8_t> big(4096, 3);
+  auto sg2 = to_segments(big);
+  EXPECT_GT(sg2.bytes_borrowed(), 0u);
+  std::vector<std::byte> out2;
+  EXPECT_FALSE(sg2.take_flat(out2));  // borrowed segments cannot be stolen
+  EXPECT_EQ(sg2.gather(), to_bytes(big));
 }
 
 TEST(Checksum, IsStableAndSensitive) {

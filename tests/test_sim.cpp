@@ -242,6 +242,46 @@ TEST(DemandMakespan, EmptyChunkListIsZero) {
   EXPECT_DOUBLE_EQ(makespan_demand({}, 4, 1.0), 0.0);
 }
 
+TEST(OverlapMakespan, ZeroOverheadEqualsDynamic) {
+  std::vector<double> tasks{3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  for (int w : {1, 2, 4, 8}) {
+    EXPECT_DOUBLE_EQ(makespan_overlap(tasks, w, 0.0),
+                     makespan_dynamic(tasks, w));
+  }
+}
+
+TEST(OverlapMakespan, HidesRoundTripBehindLongChunks) {
+  // Every chunk runs at least as long as the round trip, so only the first
+  // claim pays overhead: prefetched grants are always ready on time.
+  std::vector<double> tasks{1, 2, 3};
+  const double oh = 0.5;
+  EXPECT_DOUBLE_EQ(makespan_overlap(tasks, 1, oh), oh + total_work(tasks));
+}
+
+TEST(OverlapMakespan, ShortChunksStillWaitForTheGrant) {
+  // Chunks shorter than the round trip cannot hide it fully: each next
+  // start is gated by the prefetched grant's arrival, not by the compute.
+  std::vector<double> tasks(5, 0.01);
+  const double oh = 1.0;
+  EXPECT_DOUBLE_EQ(makespan_overlap(tasks, 1, oh), 5 * oh + 0.01);
+}
+
+TEST(OverlapMakespan, NeverWorseThanDemand) {
+  std::vector<double> tasks;
+  for (int i = 0; i < 40; ++i) tasks.push_back(0.01 * (i % 7) + 0.002);
+  for (int w : {1, 2, 4, 8}) {
+    for (double oh : {0.0, 0.001, 0.01, 0.1}) {
+      EXPECT_LE(makespan_overlap(tasks, w, oh) - 1e-12,
+                makespan_demand(tasks, w, oh))
+          << "w=" << w << " oh=" << oh;
+    }
+  }
+}
+
+TEST(OverlapMakespan, EmptyChunkListIsZero) {
+  EXPECT_DOUBLE_EQ(makespan_overlap({}, 4, 1.0), 0.0);
+}
+
 TEST(DemandMakespan, SkewedChunksBeatStaticBlocks) {
   // Triangular workload (tpacf-style): static blocks leave the last worker
   // with the heaviest block; demand claiming balances it.
