@@ -129,6 +129,20 @@ template <typename It>
 inline constexpr bool is_nested_v =
     It::kKind == IterKind::kIdxNest || It::kKind == IterKind::kStepNest;
 
+/// True when the iterator's source graph contains a resident source (see
+/// source_uses_residency): senders switch to the cache-aware scatter path
+/// only for these, so non-resident iterators compile to exactly the old
+/// send code. Step-function iterators have no Indexer and are never
+/// resident.
+template <typename It, typename = void>
+struct iter_uses_residency : std::false_type {};
+template <typename It>
+struct iter_uses_residency<It, std::void_t<typename It::Ix::Source>>
+    : source_uses_residency<typename It::Ix::Source> {};
+template <typename It>
+inline constexpr bool iter_uses_residency_v =
+    iter_uses_residency<std::remove_cvref_t<It>>::value;
+
 // -- parallelism hints (par / localpar, §3.4) -------------------------------------
 
 template <typename It>

@@ -128,6 +128,30 @@ OuterSource<SA, SB> slice_source(const OuterSource<SA, SB>& s, Dim2 old_dom,
                         Seq{new_dom.x0, new_dom.x1})};
 }
 
+/// Compile-time: does this source (transitively) contain a *resident*
+/// source — one addressable by the slice-residency cache? False for every
+/// core source; dist/dist_array.hpp specializes the resident leaves, and
+/// the composite sources here recurse so e.g. a zip of a resident array
+/// with a plain one still takes the residency-aware send path.
+template <typename S>
+struct source_uses_residency : std::false_type {};
+
+template <typename SA, typename SB>
+struct source_uses_residency<std::pair<SA, SB>>
+    : std::bool_constant<source_uses_residency<SA>::value ||
+                         source_uses_residency<SB>::value> {};
+
+template <typename SA, typename SB, typename SC>
+struct source_uses_residency<Zip3Source<SA, SB, SC>>
+    : std::bool_constant<source_uses_residency<SA>::value ||
+                         source_uses_residency<SB>::value ||
+                         source_uses_residency<SC>::value> {};
+
+template <typename SA, typename SB>
+struct source_uses_residency<OuterSource<SA, SB>>
+    : std::bool_constant<source_uses_residency<SA>::value ||
+                         source_uses_residency<SB>::value> {};
+
 }  // namespace triolet::core
 
 namespace triolet::serial {

@@ -25,7 +25,9 @@
 
 #include "core/consume.hpp"
 #include "core/skeletons.hpp"
+#include "dist/dist_array.hpp"
 #include "net/comm.hpp"
+#include "net/residency.hpp"
 #include "sched/scheduler.hpp"
 
 namespace triolet::dist {
@@ -62,14 +64,45 @@ namespace detail {
 template <typename MakeIter>
 auto scatter_chunks(net::Comm& comm, MakeIter&& make) {
   using It = decltype(make());
+  // Residency-aware path: iterators over resident sources (DistArray /
+  // DistContext) consult the per-destination cache model while serializing,
+  // so a slice the receiver already holds shrinks to a checksum token. The
+  // serialization runs eagerly on the rank thread (cheap: bulk array bytes
+  // become borrowed segments, not copies) under the per-destination encode
+  // scope; the gather and delivery still overlap on the progress engine,
+  // with the sliced iterator kept alive alongside the pending send.
+  constexpr bool kResident = core::iter_uses_residency_v<It>;
   if (comm.rank() == 0) {
     It it = make();
     auto chunks = core::split_blocks(it.domain(), comm.size());
+    if constexpr (kResident) {
+      if (comm.residency_enabled()) {
+        net::install_residency_fetch_service(comm);
+        for (int r = 1; r < comm.size(); ++r) {
+          auto slice = std::make_shared<It>(
+              it.slice(chunks[static_cast<std::size_t>(r)]));
+          serial::SegmentedBytes sg;
+          {
+            net::ResidencyEncodeScope scope(comm, r);
+            sg = serial::to_segments(*slice);
+          }
+          (void)comm.isend_segments(r, kTagTask, std::move(sg),
+                                    std::move(slice));
+        }
+        return core::localpar(it.slice(chunks[0]));
+      }
+    }
     for (int r = 1; r < comm.size(); ++r) {
       (void)comm.isend(r, kTagTask,
                        it.slice(chunks[static_cast<std::size_t>(r)]));
     }
     return core::localpar(it.slice(chunks[0]));
+  }
+  if constexpr (kResident) {
+    if (comm.residency_enabled()) {
+      net::ResidencyDecodeScope scope(comm, /*owner=*/0);
+      return core::localpar(comm.recv<It>(0, kTagTask));
+    }
   }
   return core::localpar(comm.recv<It>(0, kTagTask));
 }

@@ -25,11 +25,15 @@ void Comm::deliver_segments(int dst, int tag, serial::SegmentedBytes sg,
   // Assemble the payload: borrowed segments are copied exactly once, here,
   // straight into the delivered message. A payload with no borrowed
   // segments is the staging stream itself, moved rather than re-gathered.
+  // The stamp is the checksum accumulated at *write* time, not a hash of
+  // the gathered bytes: a borrowed span that was sliced wrong or mutated
+  // between serialization and this gather fails validation at the receiver
+  // instead of checksumming itself consistently.
+  m.checksum = sg.stream_checksum();
   if (!sg.take_flat(m.payload)) {
     m.payload.resize(sg.size());
     sg.gather_into(m.payload.data());
   }
-  m.checksum = serial::checksum(m.payload);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.messages_sent += 1;
@@ -97,16 +101,72 @@ PendingSend Comm::isend_bytes(int dst, int tag, std::vector<std::byte> payload) 
   }));
 }
 
-void Comm::finish_recv(const Message& m) {
+void Comm::finish_recv(const Message& m, bool attribute_collective) {
   TRIOLET_CHECK(serial::checksum(m.payload) == m.checksum,
                 "message payload failed checksum validation");
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.messages_received += 1;
   stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
-  if (active_collective_ >= 0) {
+  if (attribute_collective && active_collective_ >= 0) {
     auto& c = stats_.collectives[static_cast<std::size_t>(active_collective_)];
     c.messages_received += 1;
     c.bytes_received += static_cast<std::int64_t>(m.payload.size());
+  }
+}
+
+void Comm::dispatch_service(std::size_t idx, Message& m) {
+  // Service traffic is housekeeping, not part of the enclosing collective:
+  // suspend attribution so a fetch served inside reduce() does not skew the
+  // per-collective counters.
+  const int saved = active_collective_;
+  active_collective_ = -1;
+  services_[idx].second(m);
+  active_collective_ = saved;
+}
+
+void Comm::set_service(int tag, std::function<void(Message&)> handler) {
+  for (const auto& s : services_) {
+    TRIOLET_CHECK(s.first != tag, "service already registered for this tag");
+  }
+  services_.emplace_back(tag, std::move(handler));
+}
+
+void Comm::clear_service(int tag) {
+  std::erase_if(services_, [&](const auto& s) { return s.first == tag; });
+}
+
+void Comm::poll_services() {
+  auto* inbox = state_->inboxes[static_cast<std::size_t>(rank_)].get();
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    Message m;
+    while (inbox->try_pop_match(kAnySource, services_[i].first, m)) {
+      finish_recv(m, /*attribute_collective=*/false);
+      dispatch_service(i, m);
+    }
+  }
+}
+
+Message Comm::pop_with_services(std::span<const std::pair<int, int>> user,
+                                std::size_t& which_user) {
+  auto* inbox = state_->inboxes[static_cast<std::size_t>(rank_)].get();
+  // Service patterns come first: pop_match_any reports the first matching
+  // pattern of the *earliest* matching message, so a queued service request
+  // is dispatched even when a user pattern is a full wildcard.
+  std::vector<std::pair<int, int>> patterns;
+  patterns.reserve(services_.size() + user.size());
+  for (const auto& s : services_) patterns.emplace_back(kAnySource, s.first);
+  patterns.insert(patterns.end(), user.begin(), user.end());
+  while (true) {
+    std::size_t which = 0;
+    Message m = inbox->pop_match_any(patterns, state_->aborted, which);
+    if (which < services_.size()) {
+      finish_recv(m, /*attribute_collective=*/false);
+      dispatch_service(which, m);
+      continue;
+    }
+    finish_recv(m);
+    which_user = which - services_.size();
+    return m;
   }
 }
 
@@ -116,10 +176,15 @@ Message Comm::recv_message(int src, int tag) {
   // waiting for one of them. Flushing also surfaces deferred isend errors
   // at the first blocking receive instead of at body end.
   flush_async();
-  Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
-      src, tag, state_->aborted);
-  finish_recv(m);
-  return m;
+  if (services_.empty()) {
+    Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
+        src, tag, state_->aborted);
+    finish_recv(m);
+    return m;
+  }
+  const std::pair<int, int> pattern{src, tag};
+  std::size_t which_user = 0;
+  return pop_with_services({&pattern, 1}, which_user);
 }
 
 std::optional<Message> Comm::try_recv_message(int src, int tag) {
@@ -149,13 +214,21 @@ std::size_t wait_any(std::span<PendingRecv> recvs) {
   }
   std::size_t which = 0;
   comm->flush_async();  // same liveness rule as recv_message
-  Message m = comm->state_->inboxes[static_cast<std::size_t>(comm->rank_)]
-                  ->pop_match_any(patterns, comm->state_->aborted, which);
-  comm->finish_recv(m);
+  Message m = comm->pop_with_services(patterns, which);
   auto& r = recvs[index[which]];
   r.msg_ = std::move(m);
   r.completed_ = true;
   return index[which];
+}
+
+PendingSend Comm::isend_segments(int dst, int tag, serial::SegmentedBytes sg,
+                                 std::shared_ptr<const void> keepalive) {
+  check_dst(dst);
+  auto holder = std::make_shared<serial::SegmentedBytes>(std::move(sg));
+  return PendingSend(engine().post(
+      [this, dst, tag, holder, keepalive = std::move(keepalive)] {
+        deliver_segments(dst, tag, std::move(*holder), /*collective=*/-1);
+      }));
 }
 
 Comm::Group Comm::split(int color) {

@@ -36,6 +36,7 @@
 
 #include "net/mailbox.hpp"
 #include "net/progress.hpp"
+#include "net/slice_cache.hpp"
 #include "net/tags.hpp"
 #include "serial/checksum.hpp"
 #include "serial/serialize.hpp"
@@ -131,6 +132,10 @@ struct CommStats {
   /// Demand-driven scheduler attribution (requests/grants/busy/idle).
   SchedStats sched{};
 
+  /// Slice-residency attribution: tokens sent instead of payloads,
+  /// bytes_avoided, cache hits/misses/evictions (net/slice_cache.hpp).
+  ResidencyStats residency{};
+
   const CollectiveStats& collective(Collective c) const {
     return collectives[static_cast<std::size_t>(c)];
   }
@@ -146,6 +151,7 @@ struct CommStats {
       collectives[i] += o.collectives[i];
     }
     sched += o.sched;
+    residency += o.residency;
     return *this;
   }
 };
@@ -214,6 +220,14 @@ class Comm {
 
   /// Asynchronous raw-bytes send.
   PendingSend isend_bytes(int dst, int tag, std::vector<std::byte> payload);
+
+  /// Asynchronous send of a pre-built scatter-gather payload: the gather of
+  /// borrowed segments runs on the engine thread (overlapping the caller's
+  /// compute), and `keepalive` is held until delivery so whatever the
+  /// borrowed spans reference stays alive. This is how residency-aware
+  /// senders ship an eagerly-serialized payload without losing overlap.
+  PendingSend isend_segments(int dst, int tag, serial::SegmentedBytes sg,
+                             std::shared_ptr<const void> keepalive);
 
   /// Posts an asynchronous receive for (src, tag); wildcards as in recv.
   PendingRecv irecv(int src, int tag);
@@ -520,6 +534,52 @@ class Comm {
   /// activity here so cluster-level CommStats aggregation picks it up.
   SchedStats& sched_stats() { return stats_.sched; }
 
+  /// Mutable residency counters (rank-thread only, like sched_stats).
+  ResidencyStats& residency_stats() { return stats_.residency; }
+
+  /// Claims the next scheduler epoch for a run_chunks invocation. run_chunks
+  /// is collective, so every rank claims the same sequence of epochs and
+  /// sender/receiver agree on the epoch's rotated (request, grant) tag pair
+  /// (see sched_request_tag in tags.hpp) without negotiating.
+  int next_sched_epoch() { return sched_epoch_++; }
+
+  // -- slice residency ----------------------------------------------------------
+
+  /// This rank's residency state (receive-side slice cache + per-peer
+  /// sender models), created on first use with the budget captured from
+  /// slice_cache_budget().
+  Residency& residency() {
+    if (!residency_) {
+      residency_ = std::make_unique<Residency>(slice_cache_budget(),
+                                               &stats_.residency);
+    }
+    return *residency_;
+  }
+
+  /// False when the slice-cache budget is zero: every sender falls back to
+  /// the plain inline/zero-copy path. Must evaluate identically on all
+  /// ranks (the budget is process-global).
+  bool residency_enabled() { return residency().budget > 0; }
+
+  // -- services -----------------------------------------------------------------
+  //
+  // A service is a handler for one reserved tag that blocking receives
+  // dispatch as a side effect: while this rank waits for its own message,
+  // queued service messages (e.g. residency fetch requests from a worker
+  // whose cache missed) are handled instead of deadlocking the requester.
+  // Handlers run on the rank thread, always listed *before* the user
+  // pattern, so a wildcard receive can never steal a service message.
+
+  /// Registers `handler` for (kAnySource, tag). One handler per tag.
+  void set_service(int tag, std::function<void(Message&)> handler);
+
+  /// Removes the handler for `tag` (no-op when absent).
+  void clear_service(int tag);
+
+  /// Drains and dispatches every queued service message without blocking —
+  /// for request-polling loops that do not go through a blocking receive.
+  void poll_services();
+
   // -- sub-communicators --------------------------------------------------------
 
   /// Handle to a subgroup of ranks created by split(); relays typed
@@ -597,7 +657,20 @@ class Comm {
   friend std::size_t wait_any(std::span<PendingRecv> recvs);
 
   /// Checksum + receive-side accounting shared by every recv flavor.
-  void finish_recv(const Message& m);
+  /// Service traffic passes attribute_collective = false so fetch requests
+  /// handled inside a collective are not counted as collective traffic.
+  void finish_recv(const Message& m, bool attribute_collective = true);
+
+  /// Blocks for the earliest message matching a service pattern or one of
+  /// `user` (in that priority for a single message); dispatches service
+  /// messages in place and loops, returns the first user match with
+  /// `which_user` set to its index in `user`.
+  Message pop_with_services(std::span<const std::pair<int, int>> user,
+                            std::size_t& which_user);
+
+  /// Runs the handler for services_[idx] with collective attribution
+  /// suspended.
+  void dispatch_service(std::size_t idx, Message& m);
 
   int rank_;
   ClusterState* state_;
@@ -606,6 +679,13 @@ class Comm {
   /// with the rank thread's own sends/receives.
   std::mutex stats_mu_;
   std::unique_ptr<ProgressEngine> engine_;
+  std::unique_ptr<Residency> residency_;
+  /// (tag, handler) pairs, rank-thread only.
+  std::vector<std::pair<int, std::function<void(Message&)>>> services_;
+
+  /// Scheduler epoch counter (rank-thread only): one epoch per collective
+  /// run_chunks call, advanced identically on every rank.
+  int sched_epoch_ = 0;
   int active_collective_ = -1;
 };
 

@@ -1,0 +1,130 @@
+#pragma once
+
+// The cache-aware scatter protocol: net-side implementation of the
+// serial::Residency{Encoder,Decoder} hooks against the per-rank SliceCache.
+//
+// Sender (root) side — ResidencyEncodeScope: while a task/grant payload is
+// serialized for destination r, each resident slice is looked up in the
+// deterministic model of r's cache. A model hit means r already holds the
+// exact (id, version, range) bytes, so the codec writes an 8-byte checksum
+// token ("resident grant") instead of the payload; a miss records the slice
+// in the model and falls back to the existing zero-copy inline path.
+//
+// Receiver side — ResidencyDecodeScope: an inline slice is stored into this
+// rank's cache for future rounds; a token is resolved from the cache after
+// checksum validation. On a miss or a validation failure the receiver
+// repairs itself with a fetch round trip to the owner (kTagResidentFetch /
+// kTagResidentData), so a divergent cache costs one extra round trip, never
+// a wrong answer. The owner answers fetches from inside its own blocking
+// receives via the Comm service hook, so a worker blocked on a fetch can
+// never deadlock against a root blocked in the enclosing collective.
+
+#include <cstring>
+#include <optional>
+#include <span>
+
+#include "net/comm.hpp"
+#include "net/slice_cache.hpp"
+#include "net/tags.hpp"
+#include "serial/residency.hpp"
+#include "serial/serialize.hpp"
+
+namespace triolet::net {
+
+/// Wire format of a cache-miss fetch request (kTagResidentFetch).
+struct SliceFetchRequest {
+  serial::SliceKey key;
+};
+
+/// Registers the fetch-answering service on `comm` (idempotent). Any rank
+/// that encodes resident slices must install this before its first
+/// residency-aware send: receivers may fetch at any later blocking receive.
+inline void install_residency_fetch_service(Comm& comm) {
+  auto& res = comm.residency();
+  if (res.fetch_service_installed) return;
+  res.fetch_service_installed = true;
+  comm.set_service(kTagResidentFetch, [&comm](Message& m) {
+    const auto req = serial::from_bytes<SliceFetchRequest>(m.payload);
+    comm.send_bytes(m.src, kTagResidentData,
+                    serial::ResidentProviderRegistry::instance().fetch(req.key));
+  });
+}
+
+/// Installs this scope as the thread's residency encoder for the duration
+/// of one serialization aimed at `dst`.
+class ResidencyEncodeScope final : public serial::ResidencyEncoder {
+ public:
+  ResidencyEncodeScope(Comm& comm, int dst)
+      : model_(&comm.residency().model_for(dst)),
+        stats_(&comm.residency_stats()) {}
+
+  std::optional<std::uint64_t> try_token(
+      const serial::SliceKey& key,
+      std::span<const std::byte> payload) override {
+    if (const auto* e = model_->lookup(key); e && e->len == payload.size()) {
+      stats_->tokens_sent += 1;
+      stats_->bytes_avoided += static_cast<std::int64_t>(payload.size());
+      return e->checksum;
+    }
+    const std::uint64_t ck = serial::checksum(payload);
+    model_->insert_meta(key, payload.size(), ck);
+    stats_->slices_inlined += 1;
+    stats_->bytes_inlined += static_cast<std::int64_t>(payload.size());
+    return std::nullopt;
+  }
+
+ private:
+  SliceCache* model_;
+  ResidencyStats* stats_;
+  serial::ScopedResidencyEncoder install_{this};  // last: members ready first
+};
+
+/// Installs this scope as the thread's residency decoder. `owner` is the
+/// rank fetched from on a miss (the scatter/grant root).
+class ResidencyDecodeScope final : public serial::ResidencyDecoder {
+ public:
+  explicit ResidencyDecodeScope(Comm& comm, int owner = 0)
+      : comm_(&comm),
+        cache_(&comm.residency().cache),
+        stats_(&comm.residency_stats()),
+        owner_(owner) {}
+
+  void resolve(const serial::SliceKey& key, std::uint64_t checksum,
+               std::span<std::byte> out) override {
+    if (const auto* e = cache_->lookup(key)) {
+      if (!e->bytes.empty() && e->len == out.size() &&
+          serial::checksum(e->bytes) == checksum) {
+        stats_->cache_hits += 1;
+        std::memcpy(out.data(), e->bytes.data(), out.size());
+        return;
+      }
+      // Cached but wrong (corruption, or a model-mode entry with no bytes):
+      // drop it and repair through the fetch path.
+      stats_->checksum_failures += 1;
+      cache_->erase(key);
+    } else {
+      stats_->cache_misses += 1;
+    }
+    stats_->fetches += 1;
+    comm_->send(owner_, kTagResidentFetch, SliceFetchRequest{key});
+    Message m = comm_->recv_message(owner_, kTagResidentData);
+    TRIOLET_CHECK(m.payload.size() == out.size(),
+                  "resident fetch returned wrong slice size");
+    std::memcpy(out.data(), m.payload.data(), out.size());
+    cache_->insert(key, m.payload);
+  }
+
+  void store(const serial::SliceKey& key,
+             std::span<const std::byte> payload) override {
+    cache_->insert(key, payload);
+  }
+
+ private:
+  Comm* comm_;
+  SliceCache* cache_;
+  ResidencyStats* stats_;
+  int owner_;
+  serial::ScopedResidencyDecoder install_{this};  // last: members ready first
+};
+
+}  // namespace triolet::net

@@ -1,0 +1,155 @@
+#pragma once
+
+// Per-rank slice cache: the residency store behind rescatter avoidance.
+//
+// Each rank keeps an LRU byte-budgeted cache of the resident slices it has
+// received, keyed by (source id, version, range). The *sender* keeps one
+// metadata-only SliceCache per destination that mirrors the receiver's
+// cache deterministically: both sides apply the same insert/touch/evict
+// sequence in message order (delivery is FIFO per rank pair), so the root
+// can decide "receiver already holds this slice" without an ack round trip.
+// Any divergence — corruption, a receiver restarting its cache — is caught
+// by checksum validation at decode time and repaired through the fetch
+// fallback (net/residency.hpp), never by trusting the model.
+//
+// Eviction is strict LRU over a byte budget (env TRIOLET_SLICE_CACHE_BYTES,
+// default 256 MiB; 0 disables residency). Inserting a new version of a
+// source retires every cached slice of that source's older versions first —
+// stale slices can never be resurrected because the version is part of the
+// key, so retiring them is purely a space optimization, applied identically
+// on both sides.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "serial/residency.hpp"
+
+namespace triolet::net {
+
+/// Residency counters folded into CommStats. Sender-side fields are
+/// accumulated by the encode scope on the root; receiver-side fields by the
+/// decode scope and cache on the workers. Cluster::run sums them over ranks.
+struct ResidencyStats {
+  // Sender side.
+  std::int64_t tokens_sent = 0;     // slices replaced by a resident grant
+  std::int64_t bytes_avoided = 0;   // payload bytes those tokens did not ship
+  std::int64_t slices_inlined = 0;  // slices shipped in full (model miss)
+  std::int64_t bytes_inlined = 0;
+  // Receiver side.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;        // token arrived, slice not cached
+  std::int64_t checksum_failures = 0;   // cached bytes failed validation
+  std::int64_t fetches = 0;             // fallback round trips to the owner
+  std::int64_t evictions = 0;
+  std::int64_t bytes_inserted = 0;
+
+  ResidencyStats& operator+=(const ResidencyStats& o) {
+    tokens_sent += o.tokens_sent;
+    bytes_avoided += o.bytes_avoided;
+    slices_inlined += o.slices_inlined;
+    bytes_inlined += o.bytes_inlined;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    checksum_failures += o.checksum_failures;
+    fetches += o.fetches;
+    evictions += o.evictions;
+    bytes_inserted += o.bytes_inserted;
+    return *this;
+  }
+};
+
+/// LRU byte-budgeted slice store. With `stats == nullptr` the cache is a
+/// sender-side *model*: it tracks lengths and checksums but stores no bytes
+/// (insert_meta), and its evictions are not counted — only the receiver's
+/// real cache reports statistics.
+class SliceCache {
+ public:
+  struct Entry {
+    std::size_t len = 0;
+    std::uint64_t checksum = 0;
+    std::vector<std::byte> bytes;  // empty in model mode
+  };
+
+  explicit SliceCache(std::size_t budget_bytes,
+                      ResidencyStats* stats = nullptr)
+      : budget_(budget_bytes), stats_(stats) {}
+
+  /// Finds `key` and marks it most-recently-used. Returns nullptr on miss.
+  const Entry* lookup(const serial::SliceKey& key);
+
+  /// Stores the payload bytes (receiver side). Budget accounting counts the
+  /// payload length; the new entry itself may be evicted immediately when
+  /// it alone exceeds the budget — deterministically, on both sides.
+  void insert(const serial::SliceKey& key, std::span<const std::byte> payload);
+
+  /// Stores length + checksum only (sender-side model). Applies the exact
+  /// same retirement/eviction sequence as insert() so the model tracks the
+  /// receiver.
+  void insert_meta(const serial::SliceKey& key, std::size_t len,
+                   std::uint64_t checksum);
+
+  void erase(const serial::SliceKey& key);
+
+  std::size_t bytes_held() const { return held_; }
+  std::size_t entries() const { return map_.size(); }
+  std::size_t budget() const { return budget_; }
+
+  /// Flips one byte of one cached payload (tests: forces the
+  /// checksum-mismatch fetch fallback). Returns false when no entry with
+  /// stored bytes exists.
+  bool corrupt_one_for_testing();
+
+ private:
+  struct Node {
+    Entry entry;
+    std::list<serial::SliceKey>::iterator pos;  // position in lru_
+  };
+
+  void place(const serial::SliceKey& key, Entry e);
+  void retire_older_versions(const serial::SliceKey& key);
+  void evict_until_within_budget();
+  void erase_node(
+      std::unordered_map<serial::SliceKey, Node, serial::SliceKeyHash>::iterator
+          it);
+
+  std::size_t budget_;
+  ResidencyStats* stats_;
+  std::size_t held_ = 0;
+  std::list<serial::SliceKey> lru_;  // front = most recently used
+  std::unordered_map<serial::SliceKey, Node, serial::SliceKeyHash> map_;
+};
+
+/// The per-rank residency state hung off a Comm: this rank's receive-side
+/// cache plus one deterministic model per destination it scatters to.
+struct Residency {
+  Residency(std::size_t budget, ResidencyStats* stats)
+      : budget(budget), cache(budget, stats) {}
+
+  std::size_t budget;
+  SliceCache cache;
+  std::unordered_map<int, SliceCache> peer_models;
+  bool fetch_service_installed = false;
+
+  SliceCache& model_for(int dst) {
+    auto it = peer_models.find(dst);
+    if (it == peer_models.end()) {
+      it = peer_models.emplace(dst, SliceCache(budget, nullptr)).first;
+    }
+    return it->second;
+  }
+};
+
+/// The process-wide slice-cache byte budget: TRIOLET_SLICE_CACHE_BYTES
+/// (plain byte count; unset or invalid -> 256 MiB; "0" disables residency).
+/// Each Comm captures it lazily on first residency use.
+std::size_t slice_cache_budget();
+
+/// Overrides the budget (tests and benchmarks; takes effect for Comms that
+/// have not yet captured it — i.e. fresh Cluster::run invocations).
+void set_slice_cache_budget(std::size_t bytes);
+
+}  // namespace triolet::net

@@ -2,10 +2,11 @@
 
 // Reserved tag-band registry and audit.
 //
-// Three subsystems reserve tag regions out of the user tag space: the
+// Several subsystems reserve tag regions out of the user tag space: the
 // demand-driven scheduler (1 << 26), the sub-communicator relay (1 << 27),
 // and the collectives (1 << 28 and up), plus the async progress-engine
-// control band added with isend/irecv. Each band used to be declared where
+// control band added with isend/irecv and the slice-residency protocol
+// band. Each band used to be declared where
 // it was consumed; this registry lists every band in one table so a new
 // reservation that overlaps an existing one fails fast at Cluster startup
 // (assert_tag_bands_disjoint) instead of surfacing as cross-matched
@@ -29,18 +30,53 @@ struct TagBand {
 inline constexpr int kUserTagLimit = 1 << 26;
 
 // Dedicated tag band for the demand-driven chunk scheduler (src/sched/):
-// requests travel root-ward under kTagSchedRequest (always received with
-// kAnySource) and grants come back under kTagSchedGrant.
+// requests travel root-ward under the epoch's request tag (always received
+// with kAnySource) and grants come back under the epoch's grant tag.
+//
+// The (request, grant) tag pair rotates with a per-Comm *epoch* counter,
+// one epoch per collective run_chunks invocation. Without the rotation,
+// back-to-back scheduled skeletons deadlock under a round-boundary race: a
+// fast worker that finishes round r posts its round r+1 request while the
+// root is still draining round r's final requests; the root would answer it
+// with a round-r `done`, dismissing the worker from a round that never
+// started AND consuming a done slot a slow round-r worker still needs —
+// that worker then waits forever for a grant while the root blocks in the
+// next collective. Epoch-tagged requests from round r+1 simply wait in the
+// root's mailbox until its round r+1 service loop matches them. Workers
+// can run at most one epoch ahead of the root (they cannot finish an epoch
+// without its grants), so 32 rotating pairs can never alias.
 inline constexpr int kTagSchedBand = 1 << 26;
+inline constexpr int kSchedEpochTags = 32;
+inline constexpr int kTagSchedBandEnd = kTagSchedBand + 2 * kSchedEpochTags;
+
+/// Request tag for scheduler epoch `e` (worker -> root, kAnySource-served).
+inline constexpr int sched_request_tag(int epoch) {
+  return kTagSchedBand + 2 * (epoch % kSchedEpochTags);
+}
+
+/// Grant tag for scheduler epoch `e` (root -> worker).
+inline constexpr int sched_grant_tag(int epoch) {
+  return kTagSchedBand + 2 * (epoch % kSchedEpochTags) + 1;
+}
+
+// Epoch-0 aliases, kept for tests and tooling that name the band's tags.
 inline constexpr int kTagSchedRequest = kTagSchedBand + 0;
 inline constexpr int kTagSchedGrant = kTagSchedBand + 1;
-inline constexpr int kTagSchedBandEnd = kTagSchedBand + 64;
 
 // Async progress-engine control band: reserved for internal messages of the
 // isend/irecv machinery (e.g. a future rendezvous protocol for payloads
 // larger than the eager limit). No user or collective traffic may use it.
 inline constexpr int kTagAsyncBand = (1 << 26) + (1 << 16);
 inline constexpr int kTagAsyncBandEnd = kTagAsyncBand + 64;
+
+// Residency (slice-cache) protocol band: when a receiver's cached slice
+// misses or fails checksum validation, it sends a fetch request root-ward
+// under kTagResidentFetch (served with kAnySource, like sched requests) and
+// the authoritative slice bytes come back under kTagResidentData.
+inline constexpr int kTagResidencyBand = (1 << 26) + (1 << 17);
+inline constexpr int kTagResidentFetch = kTagResidencyBand + 0;
+inline constexpr int kTagResidentData = kTagResidencyBand + 1;
+inline constexpr int kTagResidencyBandEnd = kTagResidencyBand + 64;
 
 // Sub-communicator relay band: Comm::Group offsets group tags into
 // [1 << 27, 1 << 27 + 1 << 20), with group collectives at the top of it.
@@ -58,6 +94,7 @@ inline std::span<const TagBand> reserved_tag_bands() {
       {"user", 0, kUserTagLimit},
       {"sched", kTagSchedBand, kTagSchedBandEnd},
       {"async-progress", kTagAsyncBand, kTagAsyncBandEnd},
+      {"residency", kTagResidencyBand, kTagResidencyBandEnd},
       {"group-relay", kTagGroupBand, kTagGroupBandEnd},
       {"collectives", kFirstReservedTag, kCollectiveBandsEnd},
   };

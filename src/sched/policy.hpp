@@ -61,6 +61,13 @@ struct SchedOptions {
   /// preceding it. Never changes which atoms exist or how kOrdered combines
   /// them — results stay bitwise identical with it on or off.
   bool prefetch = true;
+  /// Slice residency for grant payloads: when the iterator draws on a
+  /// resident source (dist::DistArray / dist::DistContext) and the slice
+  /// cache is enabled (TRIOLET_SLICE_CACHE_BYTES > 0), grants whose task
+  /// slice the worker already holds carry a checksum token instead of the
+  /// payload. Purely a transport optimization: the decoded task bytes are
+  /// identical, so kOrdered results stay bitwise identical on or off.
+  bool residency = true;
 };
 
 inline const char* to_string(SchedulePolicy p) {

@@ -10,8 +10,10 @@
 //
 //   1. The root subdivides the iterator's domain into a fixed sequence of
 //      atomic chunks ("atoms": `grain` outer-axis units, core::outer_slice).
-//   2. Worker ranks ask for work by sending a request on the dedicated
-//      net::kTagSchedRequest tag; the root's service loop receives requests
+//   2. Worker ranks ask for work by sending a request on the invocation
+//      epoch's request tag (net::sched_request_tag; the pair of protocol
+//      tags rotates per run_chunks call so back-to-back scheduled skeletons
+//      cannot alias across rounds); the root's service loop receives requests
 //      with kAnySource and answers each with a Grant: a run of consecutive
 //      atoms, sliced and serialized exactly as scatter_chunks slices static
 //      chunks (sub-arrays only). Run length is the policy knob — everything
@@ -32,12 +34,15 @@
 // overhead (docs/INTERNALS.md "Distributed scheduling").
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/consume.hpp"
 #include "core/skeletons.hpp"
 #include "net/comm.hpp"
+#include "net/residency.hpp"
 #include "sched/policy.hpp"
 #include "support/timing.hpp"
 
@@ -91,10 +96,30 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
   const int p = comm.size();
   auto& sched = comm.sched_stats();
 
+  // This invocation's epoch-rotated protocol tags. Without the rotation a
+  // fast worker's next-round request reaching the root's drain loop would be
+  // answered with this round's `done`, starving a slow worker (see
+  // tags.hpp). Claimed on every rank: run_chunks is collective.
+  const int epoch = comm.next_sched_epoch();
+  const int tag_request = net::sched_request_tag(epoch);
+  const int tag_grant = net::sched_grant_tag(epoch);
+
+  // Grant-payload residency (see SchedOptions::residency): identical on
+  // every rank — the iterator type, the option, and the process-global
+  // budget are all SPMD-uniform — so sender and receivers agree on whether
+  // the protocol is in play without negotiating.
+  const bool resident = core::iter_uses_residency_v<It> && opts.residency &&
+                        comm.residency_enabled();
+
   if (comm.rank() != 0) {
+    // Decode grants under this rank's slice cache for the whole loop: an
+    // inline slice is stored for future rounds, a token resolves from the
+    // cache (fetching from the root on miss/corruption).
+    std::optional<net::ResidencyDecodeScope> rscope;
+    if (resident) rscope.emplace(comm, /*owner=*/0);
     if (opts.policy == SchedulePolicy::kStatic) {
       // Static: exactly one pre-assigned grant, no requests.
-      Grant<It> g = comm.recv<Grant<It>>(0, net::kTagSchedGrant);
+      Grant<It> g = comm.recv<Grant<It>>(0, tag_grant);
       sched.grants_received += 1;
       detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
                           on_chunk);
@@ -105,14 +130,14 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     // relies on); prefetch only moves *when* it is posted.
     auto post_request = [&] {
       if (opts.prefetch) {
-        (void)comm.isend(0, net::kTagSchedRequest, std::uint8_t{0});
+        (void)comm.isend(0, tag_request, std::uint8_t{0});
       } else {
-        comm.send(0, net::kTagSchedRequest, std::uint8_t{0});
+        comm.send(0, tag_request, std::uint8_t{0});
       }
       sched.requests_sent += 1;
       sched.control_messages += 1;
       sched.control_bytes += 1;
-      return comm.irecv(0, net::kTagSchedGrant);
+      return comm.irecv(0, tag_grant);
     };
     net::PendingRecv next_grant = post_request();
     while (true) {
@@ -153,16 +178,36 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     return it.slice(core::outer_slice(dom, u0, u1));
   };
 
+  // Grant transport. Non-resident path: plain isend (serialize + deliver on
+  // the progress engine). Resident path: serialize eagerly on this thread
+  // under the per-destination encode scope — token substitution must see
+  // grants in posting order to mirror the worker's cache — then hand the
+  // segments to the engine with the Grant kept alive for zero-copy gather.
+  if (resident) net::install_residency_fetch_service(comm);
+  auto send_grant = [&](int r, Grant<It> g) {
+    if (resident) {
+      auto grant = std::make_shared<Grant<It>>(std::move(g));
+      serial::SegmentedBytes sg;
+      {
+        net::ResidencyEncodeScope scope(comm, r);
+        sg = serial::to_segments(*grant);
+      }
+      (void)comm.isend_segments(r, tag_grant, std::move(sg),
+                                std::move(grant));
+    } else {
+      (void)comm.isend(r, tag_grant, std::move(g));
+    }
+  };
+
   if (opts.policy == SchedulePolicy::kStatic) {
     // The split_blocks schedule expressed in atoms: rank r gets atoms
     // [natoms*r/p, natoms*(r+1)/p), pushed without any request traffic.
     for (int r = 1; r < p; ++r) {
       const index_t a = natoms * r / p;
       const index_t b = natoms * (r + 1) / p;
-      // isend: serialization and delivery of the pushed grants run on the
-      // progress engine while the root executes its own block below.
-      (void)comm.isend(r, net::kTagSchedGrant,
-                       Grant<It>{0, a, b - a, grain, slice_run(a, b)});
+      // Delivery of the pushed grants runs on the progress engine while the
+      // root executes its own block below.
+      send_grant(r, Grant<It>{0, a, b - a, grain, slice_run(a, b)});
       sched.grants_served += 1;
       sched.control_messages += 1;
       sched.control_bytes += kGrantHeaderBytes;
@@ -180,18 +225,16 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
   auto serve = [&](int requester) {
     const index_t remaining = natoms - next;
     if (remaining <= 0) {
-      (void)comm.isend(requester, net::kTagSchedGrant,
-                       Grant<It>{1, 0, 0, grain, {}});
+      send_grant(requester, Grant<It>{1, 0, 0, grain, {}});
       done_sent += 1;
     } else {
       const index_t n = opts.policy == SchedulePolicy::kDynamic
                             ? 1
                             : std::min(remaining, guided_run_atoms(remaining, p));
       // Grants leave through the progress engine: the root can resume its
-      // own atom (or serve the next request) while the grant's task slice
-      // serializes and delivers off-thread.
-      (void)comm.isend(requester, net::kTagSchedGrant,
-                       Grant<It>{0, next, n, grain, slice_run(next, next + n)});
+      // own atom (or serve the next request) while the grant delivers
+      // off-thread.
+      send_grant(requester, Grant<It>{0, next, n, grain, slice_run(next, next + n)});
       next += n;
       sched.grants_served += 1;
     }
@@ -200,10 +243,13 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
   };
 
   while (next < natoms || done_sent < p - 1) {
+    // Serve any pending residency fetches (cache miss / checksum repair on
+    // a worker) so a fetch is never stuck behind a full atom of compute.
+    comm.poll_services();
     if (next < natoms) {
       bool served = false;
       while (auto req = comm.try_recv_message(net::kAnySource,
-                                              net::kTagSchedRequest)) {
+                                              tag_request)) {
         serve(req->src);
         served = true;
       }
@@ -215,7 +261,7 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     } else {
       // Queue drained: block for the stragglers' final requests.
       net::Message req =
-          comm.recv_message(net::kAnySource, net::kTagSchedRequest);
+          comm.recv_message(net::kAnySource, tag_request);
       serve(req.src);
     }
   }

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "serial/checksum.hpp"
 #include "support/macros.hpp"
 
 namespace triolet::serial {
@@ -48,9 +49,10 @@ class SegmentedBytes {
 
   SegmentedBytes() = default;
   SegmentedBytes(std::vector<std::byte> owned, std::vector<Segment> segments,
-                 std::size_t total)
+                 std::size_t total,
+                 std::uint64_t stream_checksum = kChecksumSeed)
       : owned_(std::move(owned)), segments_(std::move(segments)),
-        total_(total) {}
+        total_(total), stream_checksum_(stream_checksum) {}
 
   std::size_t size() const { return total_; }
 
@@ -95,10 +97,18 @@ class SegmentedBytes {
 
   std::span<const Segment> segments() const { return segments_; }
 
+  /// Checksum of the logical byte stream, accumulated at *write* time (see
+  /// ByteWriter). Stamping messages with this value — instead of hashing the
+  /// gathered payload — means a borrowed span that was sliced wrong or
+  /// mutated between serialization and gather no longer checksums itself
+  /// consistently: the receiver's validation catches it.
+  std::uint64_t stream_checksum() const { return stream_checksum_; }
+
  private:
   std::vector<std::byte> owned_;
   std::vector<Segment> segments_;
   std::size_t total_ = 0;
+  std::uint64_t stream_checksum_ = kChecksumSeed;
 };
 
 class ByteWriter {
@@ -121,6 +131,7 @@ class ByteWriter {
     const auto* p = static_cast<const std::byte*>(data);
     buf_.insert(buf_.end(), p, p + n);
     total_ += n;
+    if (segment_mode_) crc_ = checksum_accumulate(crc_, {p, n});
   }
 
   /// Like write_raw, but in segment mode spans of at least
@@ -136,6 +147,7 @@ class ByteWriter {
     segments_.push_back(
         {true, 0, static_cast<const std::byte*>(data), n});
     total_ += n;
+    crc_ = checksum_accumulate(crc_, {static_cast<const std::byte*>(data), n});
   }
 
   template <typename T>
@@ -160,14 +172,17 @@ class ByteWriter {
     return std::move(buf_);
   }
 
-  /// Harvests the scatter-gather list (segment mode only).
+  /// Harvests the scatter-gather list (segment mode only). The result
+  /// carries the stream checksum accumulated over every write — including
+  /// bytes recorded as borrowed segments that were never copied here.
   SegmentedBytes take_segments() {
     flush_owned_segment();
-    SegmentedBytes out(std::move(buf_), std::move(segments_), total_);
+    SegmentedBytes out(std::move(buf_), std::move(segments_), total_, crc_);
     buf_.clear();
     segments_.clear();
     total_ = 0;
     owned_flushed_ = 0;
+    crc_ = kChecksumSeed;
     return out;
   }
 
@@ -187,6 +202,7 @@ class ByteWriter {
   std::vector<SegmentedBytes::Segment> segments_;
   std::size_t total_ = 0;
   std::size_t owned_flushed_ = 0;
+  std::uint64_t crc_ = kChecksumSeed;  // accumulated only in segment mode
   bool segment_mode_ = false;
 };
 

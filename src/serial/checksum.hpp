@@ -10,7 +10,18 @@
 
 namespace triolet::serial {
 
+/// FNV-1a offset basis; `checksum(bytes) == checksum_accumulate(kChecksumSeed,
+/// bytes)`, so a checksum can be built up incrementally across segments.
+inline constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ull;
+
 /// FNV-1a over a byte range; cheap and adequate for in-process integrity.
 std::uint64_t checksum(std::span<const std::byte> bytes);
+
+/// Folds `bytes` into a running FNV-1a state. Accumulating the chunks of a
+/// stream in order yields the same value as one checksum() over the
+/// concatenation — the property the zero-copy path relies on to stamp a
+/// payload at *write* time, before borrowed segments are gathered.
+std::uint64_t checksum_accumulate(std::uint64_t state,
+                                  std::span<const std::byte> bytes);
 
 }  // namespace triolet::serial

@@ -1,0 +1,184 @@
+#pragma once
+
+// Slice residency: the serialization-side half of the rescatter-avoidance
+// protocol.
+//
+// The paper's data-distribution story (§3.5) slices a source so each node
+// receives only the sub-array it needs — but a sliced payload is rebuilt and
+// resent on every skeleton call, even when the receiver already holds those
+// exact bytes from the previous round. This header defines the vocabulary
+// that lets a codec ask "does the receiver already have this slice?" while
+// it serializes:
+//
+//   * `SliceKey` names a slice of a resident source: (id, version, range).
+//     The version is bumped whenever the source mutates, so a stale cached
+//     slice can never be mistaken for current data.
+//   * `ResidencyEncoder` / `ResidencyDecoder` are the sender/receiver hooks
+//     a codec consults through a thread-local slot. With no scope installed,
+//     codecs serialize slices inline exactly as before — residency is
+//     strictly opt-in and invisible to non-resident types.
+//   * `ResidentProviderRegistry` maps a source id back to its live bytes so
+//     a receiver whose cache misses (or fails validation) can fetch the
+//     authoritative slice from the owner.
+//
+// The net:: layer implements the encoder/decoder against its per-rank
+// SliceCache (net/slice_cache.hpp, net/residency.hpp); dist:: supplies the
+// resident source types (dist/dist_array.hpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace triolet::serial {
+
+/// Identity of one slice of a resident source. `lo`/`hi` are in the source's
+/// own index space for arrays; context-style sources use [0, byte length).
+struct SliceKey {
+  std::uint64_t id = 0;       // process-unique source identity
+  std::uint64_t version = 0;  // bumped on every mutation of the source
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  bool operator==(const SliceKey&) const = default;
+};
+
+struct SliceKeyHash {
+  std::size_t operator()(const SliceKey& k) const {
+    // FNV-1a over the fields; good enough for a per-rank cache map.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t v : {k.id, k.version, static_cast<std::uint64_t>(k.lo),
+                            static_cast<std::uint64_t>(k.hi)}) {
+      h = (h ^ v) * 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Sender-side hook. A codec about to serialize a resident slice offers the
+/// key and the raw payload; a non-nullopt return is the payload checksum the
+/// receiver will validate against, and the codec writes a token instead of
+/// the bytes.
+class ResidencyEncoder {
+ public:
+  virtual ~ResidencyEncoder() = default;
+  virtual std::optional<std::uint64_t> try_token(
+      const SliceKey& key, std::span<const std::byte> payload) = 0;
+};
+
+/// Receiver-side hook. `resolve` materializes a tokenized slice into `out`
+/// (from cache, or by fetching from the owner on miss/corruption);
+/// `store` records an inline-received slice for future rounds.
+class ResidencyDecoder {
+ public:
+  virtual ~ResidencyDecoder() = default;
+  virtual void resolve(const SliceKey& key, std::uint64_t checksum,
+                       std::span<std::byte> out) = 0;
+  virtual void store(const SliceKey& key,
+                     std::span<const std::byte> payload) = 0;
+};
+
+namespace detail {
+inline ResidencyEncoder*& tls_encoder() {
+  thread_local ResidencyEncoder* enc = nullptr;
+  return enc;
+}
+inline ResidencyDecoder*& tls_decoder() {
+  thread_local ResidencyDecoder* dec = nullptr;
+  return dec;
+}
+}  // namespace detail
+
+/// The encoder active on this thread, or nullptr (serialize inline).
+inline ResidencyEncoder* current_residency_encoder() {
+  return detail::tls_encoder();
+}
+/// The decoder active on this thread, or nullptr (tokens are an error).
+inline ResidencyDecoder* current_residency_decoder() {
+  return detail::tls_decoder();
+}
+
+/// RAII installation of an encoder for the enclosing serialization calls.
+class ScopedResidencyEncoder {
+ public:
+  explicit ScopedResidencyEncoder(ResidencyEncoder* enc)
+      : prev_(detail::tls_encoder()) {
+    detail::tls_encoder() = enc;
+  }
+  ~ScopedResidencyEncoder() { detail::tls_encoder() = prev_; }
+  ScopedResidencyEncoder(const ScopedResidencyEncoder&) = delete;
+  ScopedResidencyEncoder& operator=(const ScopedResidencyEncoder&) = delete;
+
+ private:
+  ResidencyEncoder* prev_;
+};
+
+/// RAII installation of a decoder for the enclosing deserialization calls.
+class ScopedResidencyDecoder {
+ public:
+  explicit ScopedResidencyDecoder(ResidencyDecoder* dec)
+      : prev_(detail::tls_decoder()) {
+    detail::tls_decoder() = dec;
+  }
+  ~ScopedResidencyDecoder() { detail::tls_decoder() = prev_; }
+  ScopedResidencyDecoder(const ScopedResidencyDecoder&) = delete;
+  ScopedResidencyDecoder& operator=(const ScopedResidencyDecoder&) = delete;
+
+ private:
+  ResidencyDecoder* prev_;
+};
+
+/// Process-wide map from resident-source id to a provider that can produce
+/// the authoritative bytes of any slice (the cache-miss fallback source).
+/// DistArray/DistContext register on construction and unregister on
+/// destruction; ids are never reused within a process.
+class ResidentProviderRegistry {
+ public:
+  using Provider = std::function<std::vector<std::byte>(const SliceKey&)>;
+
+  static ResidentProviderRegistry& instance() {
+    static ResidentProviderRegistry r;
+    return r;
+  }
+
+  std::uint64_t register_provider(Provider p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    providers_.emplace(id, std::move(p));
+    return id;
+  }
+
+  void unregister(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers_.erase(id);
+  }
+
+  /// Fetches the authoritative bytes for `key`. The provider validates the
+  /// version itself (a fetch for a retired version is a protocol bug).
+  std::vector<std::byte> fetch(const SliceKey& key) const {
+    Provider p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = providers_.find(key.id);
+      TRIOLET_CHECK(it != providers_.end(),
+                    "resident fetch for an unregistered source id");
+      p = it->second;
+    }
+    return p(key);  // outside the lock: providers may serialize large values
+  }
+
+ private:
+  ResidentProviderRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;  // 0 means "no identity"
+  std::unordered_map<std::uint64_t, Provider> providers_;
+};
+
+}  // namespace triolet::serial

@@ -2,13 +2,17 @@
 
 namespace triolet::serial {
 
-std::uint64_t checksum(std::span<const std::byte> bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
+std::uint64_t checksum_accumulate(std::uint64_t state,
+                                  std::span<const std::byte> bytes) {
   for (std::byte b : bytes) {
-    h ^= static_cast<std::uint64_t>(b);
-    h *= 0x100000001b3ull;
+    state ^= static_cast<std::uint64_t>(b);
+    state *= 0x100000001b3ull;
   }
-  return h;
+  return state;
+}
+
+std::uint64_t checksum(std::span<const std::byte> bytes) {
+  return checksum_accumulate(kChecksumSeed, bytes);
 }
 
 }  // namespace triolet::serial

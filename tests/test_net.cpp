@@ -337,6 +337,72 @@ TEST(ClusterWildcards, SchedTagBandIsDisjointFromCollectives) {
   EXPECT_TRUE(res.ok) << res.error;
 }
 
+TEST(ClusterWildcards, ResidencyTagBandIsRegisteredAndDisjoint) {
+  bool found = false;
+  for (const auto& b : reserved_tag_bands()) {
+    if (b.lo == kTagResidencyBand) {
+      found = true;
+      EXPECT_EQ(b.hi, kTagResidencyBandEnd);
+    }
+  }
+  EXPECT_TRUE(found) << "residency band missing from reserved_tag_bands()";
+  EXPECT_GE(kTagResidentFetch, kTagResidencyBand);
+  EXPECT_LT(kTagResidentData, kTagResidencyBandEnd);
+  assert_tag_bands_disjoint();  // aborts on overlap
+}
+
+TEST(ClusterWildcards, ServiceDispatchRunsInsideBlockingRecv) {
+  // A (kAnySource, tag) service handler must run while the owning rank is
+  // blocked in an unrelated receive — the deadlock-freedom property the
+  // residency fetch protocol relies on (the root serves fetches while
+  // blocked in its own collectives/receives).
+  const int p = 3;
+  auto res = Cluster::run(p, [&](Comm& c) {
+    if (c.rank() == 0) {
+      int served = 0;
+      c.set_service(kTagResidentFetch, [&](Message& m) {
+        const auto who = serial::from_bytes<std::uint8_t>(m.payload);
+        c.send(m.src, kTagResidentData, static_cast<int>(100 + who));
+        ++served;
+      });
+      // Each worker signals on tag 7 only after its fetch was answered, so
+      // both services have run by the time both signals arrive.
+      for (int i = 0; i < p - 1; ++i) {
+        auto m = c.recv_message(kAnySource, 7);
+        EXPECT_EQ(serial::from_bytes<int>(m.payload), 42);
+      }
+      EXPECT_EQ(served, p - 1);
+      c.clear_service(kTagResidentFetch);
+    } else {
+      c.send(0, kTagResidentFetch, static_cast<std::uint8_t>(c.rank()));
+      EXPECT_EQ(c.recv<int>(0, kTagResidentData), 100 + c.rank());
+      c.send(0, 7, 42);
+    }
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(ClusterWildcards, WildcardRecvDoesNotStealServiceMessages) {
+  // Per-pair FIFO puts the service message ahead of the user message in
+  // rank 0's queue; a fully wildcard receive must still dispatch it to the
+  // handler and return the user message.
+  auto res = Cluster::run(2, [&](Comm& c) {
+    if (c.rank() == 0) {
+      int served = 0;
+      c.set_service(kTagResidentFetch, [&](Message&) { ++served; });
+      Message m = c.recv_message(kAnySource, kAnyTag);
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_EQ(serial::from_bytes<int>(m.payload), 42);
+      EXPECT_EQ(served, 1);
+      c.clear_service(kTagResidentFetch);
+    } else {
+      c.send(0, kTagResidentFetch, std::uint8_t{1});
+      c.send(0, 7, 42);
+    }
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
 // Parameterized: collectives agree with a serial reference at many widths.
 class ClusterWidth : public ::testing::TestWithParam<int> {};
 

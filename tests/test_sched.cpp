@@ -11,6 +11,7 @@
 #include "core/triolet.hpp"
 #include "dist/skeletons.hpp"
 #include "net/cluster.hpp"
+#include "net/tags.hpp"
 #include "support/rng.hpp"
 
 namespace triolet::sched {
@@ -173,6 +174,62 @@ TEST(SchedReduce, OrderedCombineIsReproducibleRunToRun) {
       first = got;
     } else {
       EXPECT_EQ(0, std::memcmp(&first, &got, sizeof(double)));
+    }
+  }
+}
+
+TEST(SchedEpoch, TagRotationStaysInBandAndCyclesDisjointPairs) {
+  // One (request, grant) pair per epoch, every pair inside the sched band,
+  // and no overlap between consecutive epochs' pairs until the rotation
+  // wraps (workers can only run one epoch ahead, so a wrap can never alias).
+  for (int e = 0; e < 3 * net::kSchedEpochTags; ++e) {
+    const int req = net::sched_request_tag(e);
+    const int grant = net::sched_grant_tag(e);
+    ASSERT_GE(req, net::kTagSchedBand);
+    ASSERT_LT(grant, net::kTagSchedBandEnd);
+    ASSERT_EQ(grant, req + 1);
+    ASSERT_EQ(req, net::sched_request_tag(e + net::kSchedEpochTags));
+    ASSERT_NE(req, net::sched_request_tag(e + 1));
+  }
+  EXPECT_EQ(net::kTagSchedRequest, net::sched_request_tag(0));
+  EXPECT_EQ(net::kTagSchedGrant, net::sched_grant_tag(0));
+}
+
+TEST(SchedEpoch, BackToBackRoundsDoNotCrossTalk) {
+  // Regression: without epoch-rotated protocol tags, a worker that finishes
+  // round r early posts its round r+1 request while the root is still
+  // draining round r's final requests; the root answered it with a round-r
+  // `done`, dismissing the worker from a round that never started and
+  // starving a slow round-r worker forever (deadlock in the next gather).
+  // Many short back-to-back rounds on few atoms make the race window wide;
+  // this test hung within a few iterations on a single-core host before the
+  // fix.
+  const auto xs = random_array(4096, 99);
+  const double expect = [&] {
+    double s = 0;
+    for (index_t i = 0; i < xs.size(); ++i) s += xs[i];
+    return s;
+  }();
+  for (int iter = 0; iter < 6; ++iter) {
+    SchedOptions opts{SchedulePolicy::kGuided, CombineMode::kOrdered, 64};
+    std::vector<double> rounds;
+    auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+      NodeRuntime node(1);
+      auto make = [&] { return from_array(xs); };
+      for (int r = 0; r < 4; ++r) {
+        double v = dist::reduce(comm, make, 0.0,
+                                [](double a, double b) { return a + b; }, opts);
+        if (comm.rank() == 0) rounds.push_back(v);
+      }
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(rounds.size(), 4u);
+    for (double v : rounds) {
+      // kOrdered: every round folds the same atoms in the same order, so
+      // the rounds must agree bitwise — a cross-round grant would show up
+      // as a missing or duplicated atom.
+      EXPECT_EQ(0, std::memcmp(&rounds[0], &v, sizeof(double)));
+      EXPECT_NEAR(v, expect, 1e-9 * xs.size());
     }
   }
 }

@@ -228,6 +228,42 @@ TEST(Checksum, EmptyPayloadHasFixedValue) {
   EXPECT_EQ(checksum({}), 0xcbf29ce484222325ull);
 }
 
+TEST(Checksum, AccumulateComposesWithOneShot) {
+  auto bytes = to_bytes(std::vector<int>{1, 2, 3, 4, 5});
+  const std::span<const std::byte> all(bytes);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, bytes.size() / 2,
+                            bytes.size()}) {
+    const auto partial = checksum_accumulate(kChecksumSeed, all.subspan(0, split));
+    EXPECT_EQ(checksum_accumulate(partial, all.subspan(split)), checksum(all));
+  }
+}
+
+TEST(Checksum, StreamChecksumCoversBorrowedSegments) {
+  std::vector<std::uint8_t> big(4096, 1);
+  auto sg = to_segments(big);
+  EXPECT_GT(sg.bytes_borrowed(), 0u);
+  // The write-time stream checksum equals a post-hoc checksum of the
+  // gathered stream...
+  EXPECT_EQ(sg.stream_checksum(), checksum(sg.gather()));
+  // ...and keeps describing the bytes *as serialized* when a borrowed span
+  // is mutated between serialization and gather. A post-gather checksum
+  // would self-consistently cover the corrupted bytes and pass; the stream
+  // checksum is what lets the receiver detect the violation.
+  big[100] ^= 0xff;
+  EXPECT_NE(sg.stream_checksum(), checksum(sg.gather()));
+  big[100] ^= 0xff;
+  EXPECT_EQ(sg.stream_checksum(), checksum(sg.gather()));
+}
+
+TEST(Checksum, StreamChecksumMatchesFlatPathForCopiedStreams) {
+  // Below the borrow threshold everything is copied, and both serialization
+  // paths must agree on the stream bytes and their checksum.
+  std::vector<std::uint8_t> small(64, 7);
+  auto sg = to_segments(small);
+  EXPECT_EQ(sg.bytes_borrowed(), 0u);
+  EXPECT_EQ(sg.stream_checksum(), checksum(to_bytes(small)));
+}
+
 // Property sweep: random vectors of random sizes round-trip exactly.
 class SerializeProperty : public ::testing::TestWithParam<int> {};
 
