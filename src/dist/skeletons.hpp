@@ -354,6 +354,12 @@ auto build_array2(net::Comm& comm, MakeIter&& make) {
 // kStatic — so the decomposition is identical across policies (outer-axis
 // atoms; for 2D domains that means row bands rather than the near-square
 // block grid of the no-options overloads above).
+//
+// With opts.streaming (kGuided/kDynamic), each granted chunk executes on
+// the rank's node pool via core::StreamingConsumer instead of inline on
+// the rank thread, so chunk k computes while grant k+1 is on the wire.
+// Streaming changes where a chunk runs, never what is folded: kOrdered
+// results stay bitwise identical with it on or off.
 
 /// Distributed reduction under an explicit schedule policy.
 template <typename MakeIter, typename T, typename Op>

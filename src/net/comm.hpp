@@ -96,6 +96,13 @@ struct SchedStats {
   double idle_seconds = 0.0;           // waiting for a grant (steal latency)
   std::int64_t steal_waits = 0;        // number of request->grant waits
 
+  /// Streaming grant execution (SchedOptions::streaming): grants handed to
+  /// the rank's thread pool instead of run inline, and the portion of grant
+  /// wait time during which the pool still had streamed work in flight —
+  /// the "busy while receiving" overlap the two-level pipeline buys.
+  std::int64_t streamed_grants = 0;
+  double overlap_seconds = 0.0;
+
   SchedStats& operator+=(const SchedStats& o) {
     requests_sent += o.requests_sent;
     grants_served += o.grants_served;
@@ -107,6 +114,32 @@ struct SchedStats {
     busy_seconds += o.busy_seconds;
     idle_seconds += o.idle_seconds;
     steal_waits += o.steal_waits;
+    streamed_grants += o.streamed_grants;
+    overlap_seconds += o.overlap_seconds;
+    return *this;
+  }
+};
+
+/// Intra-node thread-pool counters mirrored from runtime::PoolStats (net
+/// cannot depend on runtime, so the fields are duplicated). Scheduled
+/// skeletons charge the pool-counter *delta* of each run_chunks call here,
+/// so per-rank steal/park/wake behavior shows up next to the protocol
+/// traffic it serves.
+struct NodePoolStats {
+  std::int64_t tasks_executed = 0;
+  std::int64_t tasks_stolen = 0;
+  std::int64_t splits = 0;
+  std::int64_t steal_attempts = 0;
+  std::int64_t parks = 0;
+  std::int64_t wakes = 0;
+
+  NodePoolStats& operator+=(const NodePoolStats& o) {
+    tasks_executed += o.tasks_executed;
+    tasks_stolen += o.tasks_stolen;
+    splits += o.splits;
+    steal_attempts += o.steal_attempts;
+    parks += o.parks;
+    wakes += o.wakes;
     return *this;
   }
 };
@@ -132,6 +165,9 @@ struct CommStats {
   /// Demand-driven scheduler attribution (requests/grants/busy/idle).
   SchedStats sched{};
 
+  /// Intra-node pool counters for work this rank's scheduled skeletons ran.
+  NodePoolStats pool{};
+
   /// Slice-residency attribution: tokens sent instead of payloads,
   /// bytes_avoided, cache hits/misses/evictions (net/slice_cache.hpp).
   ResidencyStats residency{};
@@ -151,6 +187,7 @@ struct CommStats {
       collectives[i] += o.collectives[i];
     }
     sched += o.sched;
+    pool += o.pool;
     residency += o.residency;
     return *this;
   }
@@ -536,6 +573,9 @@ class Comm {
 
   /// Mutable residency counters (rank-thread only, like sched_stats).
   ResidencyStats& residency_stats() { return stats_.residency; }
+
+  /// Mutable intra-node pool counters (rank-thread only, like sched_stats).
+  NodePoolStats& pool_stats() { return stats_.pool; }
 
   /// Claims the next scheduler epoch for a run_chunks invocation. run_chunks
   /// is collective, so every rank claims the same sequence of epochs and

@@ -31,33 +31,46 @@
 namespace triolet::net {
 
 /// Completion state shared by a pending handle and the progress engine.
+/// Completion is published through an atomic flag so waiters can spin
+/// briefly (in-process ops usually finish in microseconds — cheaper than a
+/// park/wake round trip through the cv) and testers never take the lock on
+/// the not-done path; the mutex/cv pair only backs the parked slow path
+/// and makes the error pointer visible.
 struct AsyncOpState {
   std::mutex mu;
   std::condition_variable cv;
-  bool done = false;
+  std::atomic<bool> done{false};
   std::exception_ptr error;
 
   void complete(std::exception_ptr e) {
     {
       std::lock_guard<std::mutex> lock(mu);
-      done = true;
       error = std::move(e);
+      done.store(true, std::memory_order_release);
     }
     cv.notify_all();
   }
 
   /// Blocks until the operation completes; rethrows its error.
   void wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done; });
+    for (int i = 0; i < 256; ++i) {
+      if (done.load(std::memory_order_acquire)) break;
+      if (i >= 32) std::this_thread::yield();
+    }
+    if (!done.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done.load(std::memory_order_acquire); });
+    }
+    // The release store under the lock ordered `error` before `done`, so
+    // the acquire load above makes it safe to read here without the lock.
     if (error) std::rethrow_exception(error);
   }
 
   /// True once complete; rethrows the operation's error.
   bool test() {
-    std::lock_guard<std::mutex> lock(mu);
-    if (done && error) std::rethrow_exception(error);
-    return done;
+    if (!done.load(std::memory_order_acquire)) return false;
+    if (error) std::rethrow_exception(error);
+    return true;
   }
 };
 

@@ -4,15 +4,26 @@
 // the OpenMP-analogue layer used by Triolet's localpar skeletons and by the
 // low-level baseline implementations.
 //
-//   parallel_for      recursive-splitting fork-join loop over [lo, hi)
+//   parallel_for      steal-driven lazy-splitting loop over [lo, hi)
 //   parallel_reduce   chunked reduction with a *deterministic* combine order
 //   parallel_invoke   run two callables concurrently
 //   PerThread<T>      per-worker private accumulators (histogram
 //                     privatization; paper §3.4: "sequentially builds one
 //                     histogram per thread")
+//
+// Scheduling: a parallel_for is one RangeTask that walks its range in
+// grain-sized chunks. Between chunks it checks the pool's demand signal
+// (steal_demand(): some worker is hungry or parked); only then does it fork
+// the far half of what remains as a new task. A balanced loop on a busy
+// pool therefore runs almost entirely sequentially — zero task traffic,
+// zero allocation — while an imbalanced loop sheds exactly as much work as
+// idle workers ask for. `grain` is a *floor* on chunk size (splits stop at
+// 2*grain so both halves stay >= grain), not the schedule: the old eager
+// splitter materialized every grain-sized chunk as a heap-allocated task up
+// front, which is what this replaces.
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
@@ -22,7 +33,9 @@ namespace triolet::runtime {
 
 using index_t = std::int64_t;
 
-/// Grain size heuristic: aim for ~8 chunks per worker, at least 1 element.
+/// Grain size heuristic: aim for ~8 chunks per worker. Clamped to
+/// [1, max(1, n)] so tiny ranges with many threads never yield a grain of 0
+/// or larger than the range (no empty subranges).
 index_t auto_grain(index_t n, int nthreads);
 
 /// The pool implicit consumers (core/consume.hpp) schedule on: a
@@ -47,8 +60,45 @@ class PoolScope {
   ThreadPool* prev_;
 };
 
+namespace detail {
+
+/// The lazy splitter: a trivially copyable range descriptor that fits a
+/// TaskSlot inline (no allocation per task). The referenced Body outlives
+/// the loop because parallel_for does not return until the group drains.
+template <typename Body>
+struct RangeTask {
+  const Body* body;
+  index_t lo;
+  index_t hi;
+  index_t grain;
+
+  void operator()(ThreadPool& pool, TaskGroup& group) {
+    index_t a = lo;
+    index_t b = hi;
+    while (a < b) {
+      // Fork the far half only when someone is hungry and both halves can
+      // stay at or above the grain floor. An unstolen fork costs one deque
+      // push + pop (LIFO: the owner takes it right back).
+      if (b - a >= 2 * grain && pool.steal_demand()) {
+        const index_t mid = a + (b - a) / 2;
+        pool.submit(group, RangeTask<Body>{body, mid, b, grain});
+        pool.note_split();
+        b = mid;
+        continue;
+      }
+      const index_t e = std::min(b, a + grain);
+      (*body)(a, e);
+      pool.note_chunk();
+      a = e;
+    }
+  }
+};
+
+}  // namespace detail
+
 /// Runs body(lo, hi) over subranges of [lo, hi) in parallel on `pool`.
-/// `body` must be safe to run concurrently on disjoint ranges.
+/// `body` must be safe to run concurrently on disjoint ranges. Subranges
+/// have at least min(grain, hi-lo) elements and are never empty.
 template <typename Body>
 void parallel_for(ThreadPool& pool, index_t lo, index_t hi, index_t grain,
                   const Body& body) {
@@ -57,20 +107,12 @@ void parallel_for(ThreadPool& pool, index_t lo, index_t hi, index_t grain,
   if (grain <= 0) grain = auto_grain(hi - lo, pool.size());
   if (hi - lo <= grain) {
     body(lo, hi);
+    pool.note_chunk();
     return;
   }
   TaskGroup group;
-  // Recursive binary splitting: each split forks its right half and descends
-  // into its left half, so an idle worker steals the largest pending piece.
-  std::function<void(index_t, index_t)> rec = [&](index_t a, index_t b) {
-    while (b - a > grain) {
-      index_t mid = a + (b - a) / 2;
-      pool.submit(group, [&rec, mid, b] { rec(mid, b); });
-      b = mid;
-    }
-    body(a, b);
-  };
-  rec(lo, hi);
+  detail::RangeTask<Body> root{&body, lo, hi, grain};
+  root(pool, group);
   pool.wait(group);
 }
 
@@ -127,6 +169,11 @@ void parallel_invoke(ThreadPool& pool, const F& f, const G& g) {
 /// the final slot belongs to the (single) external calling thread. Intended
 /// use: privatized accumulators inside one parallel loop, then a sequential
 /// pass over slots() to combine.
+///
+/// Disjointness holds under nesting (a nested loop's tasks still run on the
+/// same pool's workers, so they land in the same slots) and across
+/// concurrent PoolScopes (each rank's pool has its own workers, so two
+/// ranks' PerThread instances never share a slot).
 template <typename T>
 class PerThread {
  public:

@@ -5,15 +5,25 @@
 // Memory ordering follows Lê, Pop, Cohen, Zappa Nardelli, "Correct and
 // Efficient Work-Stealing for Weak Memory Models" (PPoPP'13). The owner
 // pushes/pops at the bottom; thieves steal from the top. Elements must be
-// trivially copyable (the pool stores raw Job pointers).
+// trivially copyable; they are stored as arrays of relaxed atomic words so
+// that the racy slot reads the algorithm permits (a thief reading a slot
+// the owner is about to overwrite, discarded when the top CAS fails) are
+// data-race-free under the C++ memory model and clean under TSan. Values
+// wider than one word can tear across words during such a race, but a torn
+// read is only ever observed by a thief whose claiming CAS fails, so the
+// torn value is discarded.
 //
-// Buffer growth retires old buffers instead of freeing them immediately; a
+// Buffer growth retires old buffers instead of freeing them immediately: a
 // thief holding a stale buffer pointer still reads valid slots for the
-// indices it can observe. Retired buffers are reclaimed when the deque is
-// destroyed.
+// indices it can observe. Retired buffers are reclaimed either at
+// destruction or when the owner calls reclaim_retired() at a quiescent
+// point (the thread pool does this when no thief is mid-steal, bounding
+// retired growth over the pool's lifetime instead of deferring it all to
+// teardown).
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <type_traits>
 #include <vector>
@@ -101,24 +111,61 @@ class WsDeque {
     return b > t ? b - t : 0;
   }
 
+  /// Owner only, and only at a point where the owner has established that
+  /// no thief is mid-steal on this deque (the pool gates this on its
+  /// active-thief counter). Frees every retired buffer: a thief arriving
+  /// later reloads buffer_, which has pointed at the current buffer since
+  /// the grow that retired these.
+  void reclaim_retired() {
+    for (Buffer* b : retired_) delete b;
+    retired_.clear();
+  }
+
+  /// Number of buffers retired by growth and not yet reclaimed.
+  std::int64_t retired_count() const {
+    return static_cast<std::int64_t>(retired_.size());
+  }
+
  private:
+  // Slots are stored as arrays of relaxed atomic 64-bit words; put/get
+  // memcpy through a word-aligned staging buffer. For word-sized T
+  // (pointers, the common case) this compiles to a single relaxed
+  // load/store, identical to std::atomic<T>.
+  static constexpr std::int64_t kWords =
+      static_cast<std::int64_t>((sizeof(T) + 7) / 8);
+
   struct Buffer {
     explicit Buffer(std::int64_t cap)
-        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {
+        : capacity(cap),
+          mask(cap - 1),
+          slots(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
+              cap * kWords)]) {
       TRIOLET_CHECK((cap & (cap - 1)) == 0, "deque capacity must be 2^k");
     }
     ~Buffer() { delete[] slots; }
 
-    void put(std::int64_t i, T v) {
-      slots[i & mask].store(v, std::memory_order_relaxed);
+    void put(std::int64_t i, const T& v) {
+      std::uint64_t w[kWords] = {};
+      std::memcpy(w, &v, sizeof(T));
+      std::atomic<std::uint64_t>* s = slots + (i & mask) * kWords;
+      for (std::int64_t k = 0; k < kWords; ++k) {
+        s[k].store(w[k], std::memory_order_relaxed);
+      }
     }
     T get(std::int64_t i) const {
-      return slots[i & mask].load(std::memory_order_relaxed);
+      std::uint64_t w[kWords];
+      const std::atomic<std::uint64_t>* s = slots + (i & mask) * kWords;
+      for (std::int64_t k = 0; k < kWords; ++k) {
+        w[k] = s[k].load(std::memory_order_relaxed);
+      }
+      T v;
+      std::memcpy(&v, w, sizeof(T));
+      return v;
     }
 
     const std::int64_t capacity;
     const std::int64_t mask;
-    std::atomic<T>* const slots;
+    std::atomic<std::uint64_t>* const slots;
   };
 
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {

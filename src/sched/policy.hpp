@@ -61,6 +61,16 @@ struct SchedOptions {
   /// preceding it. Never changes which atoms exist or how kOrdered combines
   /// them — results stay bitwise identical with it on or off.
   bool prefetch = true;
+  /// Streamed grant execution (kGuided/kDynamic; kStatic has one grant and
+  /// ignores it): instead of running each grant inline on the rank thread,
+  /// hand it to the rank's thread pool (core::StreamingConsumer) and go
+  /// straight back to receiving — the node computes on chunk k while chunk
+  /// k+1 is in flight, and the root keeps serving requests while its own
+  /// atoms execute. SchedStats::streamed_grants / overlap_seconds record
+  /// how much pipeline this bought. Per-atom decomposition and compute are
+  /// unchanged (same pool, same grain), so kOrdered results stay bitwise
+  /// identical with streaming on or off.
+  bool streaming = false;
   /// Slice residency for grant payloads: when the iterator draws on a
   /// resident source (dist::DistArray / dist::DistContext) and the slice
   /// cache is enabled (TRIOLET_SLICE_CACHE_BYTES > 0), grants whose task

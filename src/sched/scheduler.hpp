@@ -35,7 +35,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -43,6 +45,7 @@
 #include "core/skeletons.hpp"
 #include "net/comm.hpp"
 #include "net/residency.hpp"
+#include "runtime/parallel.hpp"
 #include "sched/policy.hpp"
 #include "support/timing.hpp"
 
@@ -82,6 +85,49 @@ void execute_run(net::Comm& comm, const It& run, index_t atom_lo,
   s.items_executed += core::outer_extent(run.domain());
 }
 
+/// Streamed counterpart of execute_run: hands the grant to the pool via
+/// `stream` and returns immediately (the receiving thread goes back to the
+/// protocol). Chunk/item counters are charged here; busy time is folded in
+/// from the stream once it drains.
+template <typename It, typename OnChunk>
+void stream_run(net::Comm& comm, core::StreamingConsumer& stream, Grant<It> g,
+                const OnChunk& on_chunk) {
+  if (g.atom_n <= 0) return;
+  auto& s = comm.sched_stats();
+  s.chunks_executed += 1;
+  s.items_executed += core::outer_extent(g.task.domain());
+  s.streamed_grants += 1;
+  stream.submit([g = std::move(g), &on_chunk] {
+    on_chunk(g.task, g.atom_lo, g.atom_n, g.grain);
+  });
+}
+
+/// Charges the delta of the current pool's counters across one run_chunks
+/// call to CommStats::pool, surfacing intra-node steal/park/wake behavior
+/// next to the protocol traffic it served.
+class PoolDeltaScope {
+ public:
+  explicit PoolDeltaScope(net::Comm& comm)
+      : comm_(comm), pool_(runtime::current_pool()), before_(pool_.stats()) {}
+  ~PoolDeltaScope() {
+    const runtime::PoolStats after = pool_.stats();
+    auto& p = comm_.pool_stats();
+    p.tasks_executed += after.tasks_executed - before_.tasks_executed;
+    p.tasks_stolen += after.tasks_stolen - before_.tasks_stolen;
+    p.splits += after.splits - before_.splits;
+    p.steal_attempts += after.steal_attempts - before_.steal_attempts;
+    p.parks += after.parks - before_.parks;
+    p.wakes += after.wakes - before_.wakes;
+  }
+  PoolDeltaScope(const PoolDeltaScope&) = delete;
+  PoolDeltaScope& operator=(const PoolDeltaScope&) = delete;
+
+ private:
+  net::Comm& comm_;
+  runtime::ThreadPool& pool_;
+  runtime::PoolStats before_;
+};
+
 }  // namespace detail
 
 /// The scheduler core: runs `make()`'s iterator across all ranks under
@@ -89,12 +135,33 @@ void execute_run(net::Comm& comm, const It& run, index_t atom_lo,
 /// rank that executes each granted run. `make` is called on rank 0 only
 /// (same contract as dist::scatter_chunks); `on_chunk` runs on every rank
 /// for its own grants. Collective: every rank must call it.
+///
+/// With opts.streaming (kGuided/kDynamic), grants are handed to the rank's
+/// current_pool() through a core::StreamingConsumer as they arrive, so
+/// on_chunk may run on pool workers, *concurrently* with itself — callers
+/// that pass streaming options must make on_chunk thread-safe. The stream
+/// is drained before run_chunks returns, so results are complete either
+/// way.
 template <typename MakeIter, typename OnChunk>
 void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
                 OnChunk&& on_chunk) {
   using It = std::remove_cvref_t<decltype(make())>;
   const int p = comm.size();
   auto& sched = comm.sched_stats();
+  detail::PoolDeltaScope pool_delta(comm);
+
+  // Streamed grant execution: created only for the demand-driven policies
+  // (kStatic pushes one grant per rank up front — nothing to pipeline).
+  std::optional<core::StreamingConsumer> stream;
+  if (opts.streaming && opts.policy != SchedulePolicy::kStatic) {
+    stream.emplace(runtime::current_pool());
+  }
+  // Backpressure: stop requesting (worker) / self-issuing (root) while more
+  // than ~2 tasks per worker are already in flight; the receiving thread
+  // helps execute instead. Bounds queue growth without ever idling the
+  // pool.
+  const std::int64_t throttle =
+      stream ? 2 * static_cast<std::int64_t>(stream->pool().size()) : 0;
 
   // This invocation's epoch-rotated protocol tags. Without the rotation a
   // fast worker's next-round request reaching the root's drain loop would be
@@ -141,13 +208,28 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     };
     net::PendingRecv next_grant = post_request();
     while (true) {
+      // Sampled before the wait: was the pool still chewing on earlier
+      // chunks when this rank went back to receiving? That wait time is
+      // overlap, even if the chunks finish mid-wait.
+      const bool busy_while_receiving = stream && stream->pending() > 0;
       Stopwatch wait;
       Grant<It> g = next_grant.get<Grant<It>>();
-      sched.idle_seconds += wait.seconds();
+      const double waited = wait.seconds();
+      sched.idle_seconds += waited;
+      if (busy_while_receiving) sched.overlap_seconds += waited;
       sched.steal_waits += 1;
       if (g.done) break;
       sched.grants_received += 1;
-      if (opts.prefetch) {
+      if (stream) {
+        // Hand the grant to the pool and immediately request the next one;
+        // when too much is queued, help execute before requesting (the
+        // request is the throttle: at most one is ever outstanding).
+        detail::stream_run(comm, *stream, std::move(g), on_chunk);
+        while (stream->pending() > throttle) {
+          if (!stream->help()) std::this_thread::yield();
+        }
+        next_grant = post_request();
+      } else if (opts.prefetch) {
         // Double-buffered grants: the request for run k+1 is already in
         // flight while run k executes, hiding the service round trip
         // behind compute.
@@ -159,6 +241,10 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
                             on_chunk);
         next_grant = post_request();
       }
+    }
+    if (stream) {
+      stream->drain();
+      sched.busy_seconds += stream->busy_seconds();
     }
     return;
   }
@@ -254,16 +340,43 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
         served = true;
       }
       if (served) continue;
-      // No demand right now: run one atom locally, then poll again.
-      detail::execute_run(comm, slice_run(next, next + 1), next, 1, grain,
-                          on_chunk);
-      next += 1;
+      if (stream) {
+        // Streamed self-issue: the root's own atoms execute on its pool,
+        // so the service loop stays responsive the whole time — a grant is
+        // never delayed by even one atom of root compute. Self-issue pauses
+        // (and the root helps its pool) while enough is queued.
+        if (stream->pending() > throttle) {
+          if (!stream->help()) std::this_thread::yield();
+          continue;
+        }
+        detail::stream_run(
+            comm, *stream,
+            Grant<It>{0, next, 1, grain, slice_run(next, next + 1)},
+            on_chunk);
+        next += 1;
+      } else {
+        // No demand right now: run one atom locally, then poll again.
+        detail::execute_run(comm, slice_run(next, next + 1), next, 1, grain,
+                            on_chunk);
+        next += 1;
+      }
     } else {
-      // Queue drained: block for the stragglers' final requests.
+      // Queue drained: block for the stragglers' final requests. Streamed
+      // root atoms keep computing on the pool underneath this blocking
+      // receive — that compute is exactly the overlap the stream buys.
+      const bool busy_while_receiving = stream && stream->pending() > 0;
+      Stopwatch wait;
       net::Message req =
           comm.recv_message(net::kAnySource, tag_request);
+      if (busy_while_receiving) {
+        sched.overlap_seconds += wait.seconds();
+      }
       serve(req.src);
     }
+  }
+  if (stream) {
+    stream->drain();
+    sched.busy_seconds += stream->busy_seconds();
   }
 }
 
@@ -296,6 +409,10 @@ A sum_arrays(A a, const A& b) {
 template <typename MakeIter, typename T, typename Op>
 T map_reduce(net::Comm& comm, MakeIter&& make, T init, Op op,
              const SchedOptions& opts) {
+  // Every on_chunk below computes its partial outside the lock and only
+  // merges under it: with opts.streaming, chunks run concurrently on pool
+  // workers (the lock is uncontended on the non-streaming path).
+  std::mutex mu;
   if (opts.combine == CombineMode::kOrdered) {
     std::vector<std::pair<index_t, T>> mine;
     run_chunks(comm, make, opts,
@@ -303,14 +420,20 @@ T map_reduce(net::Comm& comm, MakeIter&& make, T init, Op op,
                    index_t grain) {
                  const auto rdom = run.domain();
                  const index_t run_extent = core::outer_extent(rdom);
+                 std::vector<std::pair<index_t, T>> local;
+                 local.reserve(static_cast<std::size_t>(atom_n));
                  for (index_t j = 0; j < atom_n; ++j) {
                    const index_t u0 = std::min(j * grain, run_extent);
                    const index_t u1 = std::min((j + 1) * grain, run_extent);
                    auto atom = core::localpar(
                        run.slice(core::outer_slice(rdom, u0, u1)));
-                   mine.emplace_back(atom_lo + j,
-                                     core::reduce(atom, init, op));
+                   local.emplace_back(atom_lo + j,
+                                      core::reduce(atom, init, op));
                  }
+                 std::lock_guard<std::mutex> lock(mu);
+                 mine.insert(mine.end(),
+                             std::make_move_iterator(local.begin()),
+                             std::make_move_iterator(local.end()));
                });
     auto parts = comm.gather(mine, 0);
     if (comm.rank() != 0) return T{};
@@ -327,12 +450,24 @@ T map_reduce(net::Comm& comm, MakeIter&& make, T init, Op op,
     }
     return acc;
   }
-  T acc = init;
+  // kTree: per-grant partials keyed by first atom, folded in atom order
+  // before entering the reduce tree. A rank's grants always carry ascending
+  // atom_lo (the root issues atoms monotonically), so the sorted fold is
+  // exactly the old arrival-order fold — and makes the local combine
+  // independent of the completion order streaming introduces.
+  std::vector<std::pair<index_t, T>> partials;
   run_chunks(comm, make, opts,
-             [&](const auto& run, index_t, index_t, index_t) {
-               acc = op(std::move(acc),
-                        core::reduce(core::localpar(run), init, op));
+             [&](const auto& run, index_t atom_lo, index_t, index_t) {
+               T part = core::reduce(core::localpar(run), init, op);
+               std::lock_guard<std::mutex> lock(mu);
+               partials.emplace_back(atom_lo, std::move(part));
              });
+  std::sort(partials.begin(), partials.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  T acc = init;
+  for (auto& [lo, partial] : partials) {
+    acc = op(std::move(acc), std::move(partial));
+  }
   return comm.reduce(acc, op, 0);
 }
 
@@ -347,12 +482,16 @@ auto sum(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
 /// Demand-scheduled element count (after filtering / nesting).
 template <typename MakeIter>
 index_t count(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
-  index_t acc = 0;
+  // Integer addition commutes exactly, so streamed chunks may merge in any
+  // completion order; the atomic makes the concurrent adds safe.
+  std::atomic<index_t> acc{0};
   run_chunks(comm, make, opts,
              [&](const auto& run, index_t, index_t, index_t) {
-               acc += core::count(core::localpar(run));
+               acc.fetch_add(core::count(core::localpar(run)),
+                             std::memory_order_relaxed);
              });
-  return comm.reduce(acc, [](index_t a, index_t b) { return a + b; }, 0);
+  return comm.reduce(acc.load(), [](index_t a, index_t b) { return a + b; },
+                     0);
 }
 
 /// Demand-scheduled integer histogram: per-grant threaded partials
@@ -362,11 +501,16 @@ index_t count(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
 template <typename MakeIter>
 Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
                                MakeIter&& make, const SchedOptions& opts) {
+  // Each chunk's histogram is built outside the lock; only the elementwise
+  // merge (exact: integer adds commute) is serialized, so streamed chunks
+  // can accumulate in any completion order.
+  std::mutex mu;
   Array1<std::int64_t> acc(nbins, 0);
   run_chunks(comm, make, opts,
              [&](const auto& run, index_t, index_t, index_t) {
-               acc = detail::sum_arrays(
-                   std::move(acc), core::histogram(nbins, core::localpar(run)));
+               auto part = core::histogram(nbins, core::localpar(run));
+               std::lock_guard<std::mutex> lock(mu);
+               acc = detail::sum_arrays(std::move(acc), part);
              });
   return comm.reduce(acc, detail::sum_arrays<Array1<std::int64_t>>, 0);
 }
@@ -377,12 +521,17 @@ Array1<std::int64_t> histogram(net::Comm& comm, index_t nbins,
 template <typename F, typename MakeIter>
 Array1<F> float_histogram(net::Comm& comm, index_t ncells, MakeIter&& make,
                           const SchedOptions& opts) {
+  // Merge order under streaming follows chunk completion, which adds one
+  // more source of rounding-level variation to the already order-dependent
+  // accumulation documented above.
+  std::mutex mu;
   Array1<F> acc(ncells, F{0});
   run_chunks(comm, make, opts,
              [&](const auto& run, index_t, index_t, index_t) {
-               acc = detail::sum_arrays(
-                   std::move(acc),
-                   core::float_histogram<F>(ncells, core::localpar(run)));
+               auto part = core::float_histogram<F>(ncells,
+                                                    core::localpar(run));
+               std::lock_guard<std::mutex> lock(mu);
+               acc = detail::sum_arrays(std::move(acc), part);
              });
   return comm.reduce(acc, detail::sum_arrays<Array1<F>>, 0);
 }
@@ -396,10 +545,16 @@ template <typename MakeIter>
 auto build_array1(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
   using It = std::remove_cvref_t<decltype(make())>;
   using V = typename It::value_type;
+  // Part placement is positional (each part carries its base offset), so
+  // streamed completion order is irrelevant; the lock only guards the
+  // vector growth.
+  std::mutex mu;
   std::vector<Array1<V>> mine;
   run_chunks(comm, make, opts,
              [&](const auto& run, index_t, index_t, index_t) {
-               mine.push_back(core::build_array1(core::localpar(run)));
+               auto part = core::build_array1(core::localpar(run));
+               std::lock_guard<std::mutex> lock(mu);
+               mine.push_back(std::move(part));
              });
   auto gathered = comm.gather(mine, 0);
   if (comm.rank() != 0) return Array1<V>{};
@@ -431,10 +586,14 @@ template <typename MakeIter>
 auto build_array2(net::Comm& comm, MakeIter&& make, const SchedOptions& opts) {
   using It = std::remove_cvref_t<decltype(make())>;
   using V = typename It::value_type;
+  // Positional assembly again: blocks carry their own rectangles.
+  std::mutex mu;
   std::vector<core::Block2<V>> mine;
   run_chunks(comm, make, opts,
              [&](const auto& run, index_t, index_t, index_t) {
-               mine.push_back(core::build_block2(core::localpar(run)));
+               auto part = core::build_block2(core::localpar(run));
+               std::lock_guard<std::mutex> lock(mu);
+               mine.push_back(std::move(part));
              });
   auto gathered = comm.gather(mine, 0);
   if (comm.rank() != 0) return Array2<V>{};
