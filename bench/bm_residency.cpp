@@ -75,6 +75,10 @@ struct RunResult {
   std::int64_t bytes_sent = 0;
   std::int64_t messages_sent = 0;
   net::ResidencyStats residency;
+  /// Cluster-wide bytes sent per round (Comm::snapshot_stats() deltas
+  /// bracketing each round, allgathered and summed): round 0 ships the
+  /// payload, steady rounds the tokens.
+  std::vector<std::int64_t> round_bytes;
 };
 
 /// One full iterative loop: `rounds` distributed map-reduce rounds over the
@@ -92,6 +96,7 @@ RunResult run_loop(int ranks, int rounds, std::size_t budget,
     comm.barrier();  // all ranks up before the clock starts
     Stopwatch sw;
     double acc = 0;
+    std::vector<net::CommStats> my_rounds;  // per-round snapshot deltas
     for (int r = 0; r < rounds; ++r) {
       auto make = [&] {
         return map_with(dist::from_resident(d), ctx.ctx(),
@@ -99,7 +104,9 @@ RunResult run_loop(int ranks, int rounds, std::size_t budget,
                           return k.scale * w.v[1] + k.bias + w.v[2];
                         });
       };
+      const net::CommStats before = comm.snapshot_stats();
       const double s = dist::sum(comm, make);
+      my_rounds.push_back(comm.snapshot_stats() - before);
       if (comm.rank() == 0) {
         acc += s;
         // Deterministic per-round update, as a centroid recomputation would
@@ -111,6 +118,19 @@ RunResult run_loop(int ranks, int rounds, std::size_t budget,
     if (comm.rank() == 0) {
       out.seconds = sw.seconds();
       out.result = acc;
+    }
+    // One allgather after the clock stops: CommStats is wire-serializable,
+    // so each round's cluster-wide traffic is the sum of the per-rank
+    // deltas.
+    auto all = comm.allgather(my_rounds);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < rounds; ++r) {
+        net::CommStats sum{};
+        for (const auto& per_rank : all) {
+          sum += per_rank[static_cast<std::size_t>(r)];
+        }
+        out.round_bytes.push_back(sum.bytes_sent);
+      }
     }
   });
   net::set_slice_cache_budget(~std::size_t{0});  // back to "read the env"
@@ -232,6 +252,13 @@ int main(int argc, char** argv) {
   check("cache-hit rate is nonzero after round 1", hit_rate > 0.0);
   check("no fetch fallbacks on the clean path", rs.fetches == 0);
   check("bytes_avoided accounts for the traffic delta", accounted);
+  // The per-round snapshot deltas localize the saving: resident round 0
+  // ships the payload like the baseline, every later round just tokens.
+  check("steady resident round ships < 1/4 of its cold round's bytes",
+        resident.round_bytes.size() >= 2 &&
+            resident.round_bytes.back() * 4 < resident.round_bytes.front());
+  check("steady baseline round still ships the full payload",
+        baseline.round_bytes.back() > resident.round_bytes.back() * 4);
   check("round results bitwise identical, cache on vs off", results_match);
   check("kOrdered reduction bitwise identical, cache on vs off",
         ordered_bitwise);
@@ -252,6 +279,18 @@ int main(int argc, char** argv) {
   std::printf("  \"bytes_sent\": {\"rescatter\": %lld, \"resident\": %lld},\n",
               static_cast<long long>(baseline.bytes_sent),
               static_cast<long long>(resident.bytes_sent));
+  auto print_rounds = [](const char* name, const std::vector<std::int64_t>& v,
+                         const char* trail) {
+    std::printf("    \"%s\": [", name);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      std::printf("%s%lld", i ? ", " : "", static_cast<long long>(v[i]));
+    }
+    std::printf("]%s\n", trail);
+  };
+  std::printf("  \"round_bytes_sent\": {\n");
+  print_rounds("rescatter", baseline.round_bytes, ",");
+  print_rounds("resident", resident.round_bytes, "");
+  std::printf("  },\n");
   std::printf("  \"residency\": {\"tokens_sent\": %lld, \"bytes_avoided\": "
               "%lld, \"cache_hits\": %lld, \"cache_misses\": %lld, "
               "\"fetches\": %lld, \"hit_rate\": %.4f},\n",

@@ -113,15 +113,27 @@ PolicyRun run_real(sched::SchedulePolicy policy, const Array1<double>& costs) {
   auto res = net::Cluster::run(bench::kNodes, [&](net::Comm& comm) {
     dist::NodeRuntime node(2);
     auto make = [&] { return make_workload(costs); };
-    double r = dist::reduce(comm, make, 0.0,
-                            [](double a, double b) { return a + b; }, opts);
-    if (comm.rank() == 0) out.ordered_result = r;
+    auto plus = [](double a, double b) { return a + b; };
+    // Warm-up round (serialization paths, pools), then bracket one steady
+    // round with Comm::snapshot_stats(): the same per-round counter delta
+    // the autotuner consumes, summed cluster-wide over an allgather —
+    // CommStats itself is wire-serializable.
+    (void)dist::reduce(comm, make, 0.0, plus, opts);
+    const net::CommStats before = comm.snapshot_stats();
+    double r = dist::reduce(comm, make, 0.0, plus, opts);
+    const net::CommStats delta = comm.snapshot_stats() - before;
+    auto all = comm.allgather(delta);
+    if (comm.rank() == 0) {
+      out.ordered_result = r;
+      net::CommStats sum{};
+      for (const auto& d : all) sum += d;
+      out.stats = sum.sched;
+    }
   });
   if (!res.ok) {
     std::fprintf(stderr, "cluster failed: %s\n", res.error.c_str());
     std::exit(1);
   }
-  out.stats = res.total_stats.sched;
   return out;
 }
 
@@ -184,7 +196,8 @@ int main() {
                Table::num(r.stats.busy_seconds, 4),
                Table::num(r.stats.idle_seconds, 4)});
   }
-  c.print("real 8-rank cluster: scheduler control traffic (CommStats)");
+  c.print("real 8-rank cluster: one steady round's control traffic "
+          "(cluster-wide snapshot_stats() delta)");
 
   bool bitwise = true;
   for (const auto& r : runs) {

@@ -157,24 +157,29 @@ int main() {
                                                                  p);
                                 }));
     };
-    std::uint64_t prev_avoided = 0;
+    // The three reductions of each round run under the model-driven
+    // scheduler: the array's tune_key ties them to one shared AutoTuner on
+    // the Comm, so the first call measures, and every later call runs the
+    // calibrated model's pick — no per-workload policy/grain flags.
+    const auto opts = dist::auto_options(dpoints.tune_key());
     std::printf("%s", comm.rank() == 0 ? "\ndistributed rounds (resident):\n"
                                        : "");
     for (int round = 1; round <= 8; ++round) {
+      const net::CommStats before = comm.snapshot_stats();
       auto sum_x = dist::float_histogram<double>(comm, kcount, [&] {
         return map(assign(), [](const auto& ap) {
           return std::pair<index_t, float>(ap.first, ap.second.x);
         });
-      });
+      }, opts);
       auto sum_y = dist::float_histogram<double>(comm, kcount, [&] {
         return map(assign(), [](const auto& ap) {
           return std::pair<index_t, float>(ap.first, ap.second.y);
         });
-      });
+      }, opts);
       auto counts = dist::histogram(
           comm, kcount, [&] {
             return map(assign(), [](const auto& ap) { return ap.first; });
-          });
+          }, opts);
       if (comm.rank() == 0) {
         Centroids next = dks.value();
         for (index_t k = 0; k < kcount; ++k) {
@@ -185,17 +190,17 @@ int main() {
           }
         }
         dks.update(std::move(next));
-        const auto& rs = comm.residency_stats();
+        const net::CommStats d = comm.snapshot_stats() - before;
         std::printf("  round %d: bytes_avoided +%llu (total %llu, tokens %llu)\n",
                     round,
-                    static_cast<unsigned long long>(rs.bytes_avoided -
-                                                    prev_avoided),
-                    static_cast<unsigned long long>(rs.bytes_avoided),
-                    static_cast<unsigned long long>(rs.tokens_sent));
-        prev_avoided = rs.bytes_avoided;
+                    static_cast<unsigned long long>(d.residency.bytes_avoided),
+                    static_cast<unsigned long long>(
+                        comm.residency_stats().bytes_avoided),
+                    static_cast<unsigned long long>(
+                        comm.residency_stats().tokens_sent));
         if (round == 8) {
           for (index_t k = 0; k < kcount; ++k) final_count_sum += counts[k];
-          tokens_sent = rs.tokens_sent;
+          tokens_sent = comm.residency_stats().tokens_sent;
         }
       }
     }

@@ -253,6 +253,26 @@ inline Dim3 outer_slice(Dim3 d, index_t u0, index_t u1) {
   return Dim3{d.z0 + u0, d.z0 + u1, d.y0, d.y1, d.x0, d.x1};
 }
 
+/// The one grain heuristic both levels of the two-level runtime share: the
+/// chunk size that splits `extent` units across `parts` workers into ~8
+/// chunks per worker — enough chunks that dynamic balancing has slack, few
+/// enough that per-chunk overhead stays amortized. Clamped to [1, extent] so
+/// tiny extents with many workers never yield a grain of 0 (infinite loop)
+/// or larger than the range.
+///
+/// Callers: runtime::auto_grain (intra-node loops, parts = pool threads) and
+/// sched::resolve_grain (inter-node atoms, parts = cluster ranks). Both used
+/// to hand-roll extent/(8*parts) independently; keeping one definition here
+/// is what guarantees the two levels cannot drift — and the demand scheduler
+/// relies on the atom decomposition being a pure function of
+/// (extent, parts, requested) for its kOrdered bitwise-identity invariant.
+inline index_t auto_grain_for(index_t extent, int parts) {
+  if (extent <= 1) return 1;
+  const index_t target_chunks =
+      std::max<index_t>(1, static_cast<index_t>(parts)) * 8;
+  return std::clamp<index_t>(extent / target_chunks, 1, extent);
+}
+
 /// Splits into chunks of at most `grain` indices each (1D).
 inline std::vector<Seq> split_grain(Seq d, index_t grain) {
   TRIOLET_CHECK(grain >= 1, "grain must be positive");

@@ -160,6 +160,12 @@ class DistArray {
     return version_->load(std::memory_order_acquire);
   }
 
+  /// Stable autotuning key for scheduled skeletons over this array: the
+  /// several reductions of one iterative job that share the array should
+  /// share one sched::AutoTuner, so their rounds accumulate into the same
+  /// calibration (SchedOptions::tune_key; see dist::auto_options).
+  std::uint64_t tune_key() const { return id_; }
+
   /// Writable access; bumps the version so cached slices are invalidated.
   Array1<T>& mutate() {
     version_->fetch_add(1, std::memory_order_acq_rel);
@@ -263,6 +269,12 @@ class DistContext {
   std::uint64_t version() const {
     return value_->version.load(std::memory_order_acquire);
   }
+
+  /// Stable autotuning key for scheduled skeletons parameterized by this
+  /// context (SchedOptions::tune_key; see DistArray::tune_key). Stays fixed
+  /// across update() calls — version bumps retire cached *data*, not the
+  /// tuner's accumulated calibration.
+  std::uint64_t tune_key() const { return id_; }
 
   /// Replaces the context value; the version bump retires cached copies.
   void update(C v) {

@@ -78,7 +78,20 @@ struct CollectiveStats {
     bytes_received += o.bytes_received;
     return *this;
   }
+  CollectiveStats& operator-=(const CollectiveStats& o) {
+    calls -= o.calls;
+    messages_sent -= o.messages_sent;
+    bytes_sent -= o.bytes_sent;
+    messages_received -= o.messages_received;
+    bytes_received -= o.bytes_received;
+    return *this;
+  }
 };
+
+inline CollectiveStats operator-(CollectiveStats a, const CollectiveStats& b) {
+  a -= b;
+  return a;
+}
 
 /// Traffic and load attributed to the demand-driven chunk scheduler on one
 /// rank (src/sched/ fills these in; see docs/INTERNALS.md "Distributed
@@ -103,6 +116,14 @@ struct SchedStats {
   std::int64_t streamed_grants = 0;
   double overlap_seconds = 0.0;
 
+  /// Receiver-side grant payload accounting (the data a grant carried, as
+  /// opposed to control_bytes): total serialized payload bytes of received
+  /// work grants and the outer-domain units those grants covered. Their
+  /// ratio is the measured bytes-per-item coefficient the autotuner feeds
+  /// into sim::calibrate_from.
+  std::int64_t grant_payload_bytes = 0;
+  std::int64_t granted_items = 0;
+
   SchedStats& operator+=(const SchedStats& o) {
     requests_sent += o.requests_sent;
     grants_served += o.grants_served;
@@ -116,9 +137,33 @@ struct SchedStats {
     steal_waits += o.steal_waits;
     streamed_grants += o.streamed_grants;
     overlap_seconds += o.overlap_seconds;
+    grant_payload_bytes += o.grant_payload_bytes;
+    granted_items += o.granted_items;
+    return *this;
+  }
+  SchedStats& operator-=(const SchedStats& o) {
+    requests_sent -= o.requests_sent;
+    grants_served -= o.grants_served;
+    grants_received -= o.grants_received;
+    chunks_executed -= o.chunks_executed;
+    items_executed -= o.items_executed;
+    control_messages -= o.control_messages;
+    control_bytes -= o.control_bytes;
+    busy_seconds -= o.busy_seconds;
+    idle_seconds -= o.idle_seconds;
+    steal_waits -= o.steal_waits;
+    streamed_grants -= o.streamed_grants;
+    overlap_seconds -= o.overlap_seconds;
+    grant_payload_bytes -= o.grant_payload_bytes;
+    granted_items -= o.granted_items;
     return *this;
   }
 };
+
+inline SchedStats operator-(SchedStats a, const SchedStats& b) {
+  a -= b;
+  return a;
+}
 
 /// Intra-node thread-pool counters mirrored from runtime::PoolStats (net
 /// cannot depend on runtime, so the fields are duplicated). Scheduled
@@ -142,7 +187,21 @@ struct NodePoolStats {
     wakes += o.wakes;
     return *this;
   }
+  NodePoolStats& operator-=(const NodePoolStats& o) {
+    tasks_executed -= o.tasks_executed;
+    tasks_stolen -= o.tasks_stolen;
+    splits -= o.splits;
+    steal_attempts -= o.steal_attempts;
+    parks -= o.parks;
+    wakes -= o.wakes;
+    return *this;
+  }
 };
+
+inline NodePoolStats operator-(NodePoolStats a, const NodePoolStats& b) {
+  a -= b;
+  return a;
+}
 
 struct CommStats {
   std::int64_t messages_sent = 0;
@@ -191,7 +250,51 @@ struct CommStats {
     residency += o.residency;
     return *this;
   }
+  /// Delta subtraction: `after - before` of two Comm::snapshot_stats()
+  /// snapshots is the traffic of everything in between — the per-round
+  /// attribution primitive the autotuner (and the benches) consume instead
+  /// of hand-tracking individual counters.
+  CommStats& operator-=(const CommStats& o) {
+    messages_sent -= o.messages_sent;
+    bytes_sent -= o.bytes_sent;
+    messages_received -= o.messages_received;
+    bytes_received -= o.bytes_received;
+    bytes_zero_copy -= o.bytes_zero_copy;
+    bytes_copied -= o.bytes_copied;
+    for (std::size_t i = 0; i < kNumCollectives; ++i) {
+      collectives[i] -= o.collectives[i];
+    }
+    sched -= o.sched;
+    pool -= o.pool;
+    residency -= o.residency;
+    return *this;
+  }
 };
+
+inline CommStats operator-(CommStats a, const CommStats& b) {
+  a -= b;
+  return a;
+}
+
+// Stat structs travel in autotuner round samples (Comm::allgather of
+// per-rank deltas) and in bench gathers; declare their field lists so the
+// generic aggregate codec applies.
+TRIOLET_SERIALIZE_FIELDS(CollectiveStats, calls, messages_sent, bytes_sent,
+                         messages_received, bytes_received)
+TRIOLET_SERIALIZE_FIELDS(SchedStats, requests_sent, grants_served,
+                         grants_received, chunks_executed, items_executed,
+                         control_messages, control_bytes, busy_seconds,
+                         idle_seconds, steal_waits, streamed_grants,
+                         overlap_seconds, grant_payload_bytes, granted_items)
+TRIOLET_SERIALIZE_FIELDS(NodePoolStats, tasks_executed, tasks_stolen, splits,
+                         steal_attempts, parks, wakes)
+TRIOLET_SERIALIZE_FIELDS(ResidencyStats, tokens_sent, bytes_avoided,
+                         slices_inlined, bytes_inlined, cache_hits,
+                         cache_misses, checksum_failures, fetches, evictions,
+                         bytes_inserted)
+TRIOLET_SERIALIZE_FIELDS(CommStats, messages_sent, bytes_sent,
+                         messages_received, bytes_received, bytes_zero_copy,
+                         bytes_copied, collectives, sched, pool, residency)
 
 /// Shared state of one in-process cluster (owned by Cluster, referenced by
 /// every Comm).
@@ -567,6 +670,16 @@ class Comm {
 
   const CommStats& stats() const { return stats_; }
 
+  /// Coherent copy of this rank's counters, taken under the stats lock (the
+  /// progress engine records send traffic concurrently with the rank
+  /// thread). Two snapshots subtract into the delta of everything between
+  /// them: `auto d = comm.snapshot_stats() - before;` — the per-round
+  /// attribution the autotuner and the benches are built on.
+  CommStats snapshot_stats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
   /// Mutable scheduler counters: the sched/ layer records its protocol
   /// activity here so cluster-level CommStats aggregation picks it up.
   SchedStats& sched_stats() { return stats_.sched; }
@@ -582,6 +695,12 @@ class Comm {
   /// sender/receiver agree on the epoch's rotated (request, grant) tag pair
   /// (see sched_request_tag in tags.hpp) without negotiating.
   int next_sched_epoch() { return sched_epoch_++; }
+
+  /// Opaque per-Comm state slot for the scheduler layer (rank-thread only).
+  /// sched/ keeps its implicit AutoTuner registry here so iterative kAuto
+  /// jobs carry measurements across rounds without the caller owning any
+  /// state; net stays ignorant of the stored type.
+  std::shared_ptr<void>& sched_state() { return sched_state_; }
 
   // -- slice residency ----------------------------------------------------------
 
@@ -726,6 +845,8 @@ class Comm {
   /// Scheduler epoch counter (rank-thread only): one epoch per collective
   /// run_chunks call, advanced identically on every rank.
   int sched_epoch_ = 0;
+  /// See sched_state(): opaque scheduler-layer state (rank-thread only).
+  std::shared_ptr<void> sched_state_;
   int active_collective_ = -1;
 };
 

@@ -60,7 +60,25 @@ struct ResidencyStats {
     bytes_inserted += o.bytes_inserted;
     return *this;
   }
+  ResidencyStats& operator-=(const ResidencyStats& o) {
+    tokens_sent -= o.tokens_sent;
+    bytes_avoided -= o.bytes_avoided;
+    slices_inlined -= o.slices_inlined;
+    bytes_inlined -= o.bytes_inlined;
+    cache_hits -= o.cache_hits;
+    cache_misses -= o.cache_misses;
+    checksum_failures -= o.checksum_failures;
+    fetches -= o.fetches;
+    evictions -= o.evictions;
+    bytes_inserted -= o.bytes_inserted;
+    return *this;
+  }
 };
+
+inline ResidencyStats operator-(ResidencyStats a, const ResidencyStats& b) {
+  a -= b;
+  return a;
+}
 
 /// LRU byte-budgeted slice store. With `stats == nullptr` the cache is a
 /// sender-side *model*: it tracks lengths and checksums but stores no bytes

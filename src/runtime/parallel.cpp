@@ -2,16 +2,13 @@
 
 #include <algorithm>
 
+#include "core/domains.hpp"
+
 namespace triolet::runtime {
 
 index_t auto_grain(index_t n, int nthreads) {
-  if (n <= 1) return 1;
-  index_t target_chunks =
-      std::max<index_t>(1, static_cast<index_t>(nthreads)) * 8;
-  // Clamp to [1, n]: tiny n with many threads must not round the grain down
-  // to 0 (infinite loop) and the grain must never exceed the range (which
-  // would be harmless but makes chunk-count reasoning awkward).
-  return std::clamp<index_t>(n / target_chunks, 1, n);
+  // One shared heuristic for both runtime levels — see core::auto_grain_for.
+  return core::auto_grain_for(n, nthreads);
 }
 
 namespace {

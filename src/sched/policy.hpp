@@ -28,13 +28,22 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "core/domains.hpp"
 #include "support/macros.hpp"
 
 namespace triolet::sched {
 
 using index_t = std::int64_t;
 
-enum class SchedulePolicy { kStatic, kGuided, kDynamic };
+class AutoTuner;
+
+/// kAuto is the model-driven mode (src/sched/tuner.hpp): the first round of
+/// a scheduled skeleton runs an instrumented measurement configuration, the
+/// measurements calibrate the sim:: cost model, and every later round runs
+/// the candidate configuration the model predicts fastest — re-picked each
+/// round as measurements refresh. kAuto never reaches the protocol itself:
+/// run_chunks resolves it to one of the three concrete policies per round.
+enum class SchedulePolicy { kStatic, kGuided, kDynamic, kAuto };
 
 /// How per-atom partial results are combined into the final answer.
 ///
@@ -78,6 +87,17 @@ struct SchedOptions {
   /// payload. Purely a transport optimization: the decoded task bytes are
   /// identical, so kOrdered results stay bitwise identical on or off.
   bool residency = true;
+  /// Tuner state for SchedulePolicy::kAuto. When null, run_chunks keeps a
+  /// registry of AutoTuners on the Comm keyed by `tune_key`, so iterative
+  /// jobs accumulate measurements across rounds with zero per-workload
+  /// flags. Point this at a caller-owned (rank-local) AutoTuner to manage
+  /// the state explicitly. Ignored for the concrete policies.
+  AutoTuner* tuner = nullptr;
+  /// Registry key for the implicit per-Comm tuner (see `tuner`). Scheduled
+  /// skeletons that share a key share one tuner — e.g. the several
+  /// reductions of one iterative job over the same resident array
+  /// (dist::DistArray::tune_key()). 0 = the Comm's default shared job.
+  std::uint64_t tune_key = 0;
 };
 
 inline const char* to_string(SchedulePolicy p) {
@@ -85,6 +105,7 @@ inline const char* to_string(SchedulePolicy p) {
     case SchedulePolicy::kStatic: return "static";
     case SchedulePolicy::kGuided: return "guided";
     case SchedulePolicy::kDynamic: return "dynamic";
+    case SchedulePolicy::kAuto: return "auto";
   }
   return "?";
 }
@@ -92,11 +113,19 @@ inline const char* to_string(SchedulePolicy p) {
 /// Resolves the atom grain for a domain of `extent` outer units on `ranks`
 /// nodes. Must depend only on (extent, ranks, requested) — never on the
 /// policy — so all policies chunk identically (the kOrdered invariant).
+/// The default is the shared two-level heuristic (core::auto_grain_for):
+/// ~8 atoms per rank, the same rule runtime::auto_grain applies per thread.
 inline index_t resolve_grain(index_t extent, int ranks, index_t requested) {
   TRIOLET_CHECK(requested >= 0, "grain must be non-negative");
   if (requested > 0) return requested;
-  return std::max<index_t>(1, extent / (8 * static_cast<index_t>(ranks)));
+  return core::auto_grain_for(extent, ranks);
 }
+
+/// Wire size of a Grant minus its task payload (done + three index_t
+/// fields) — the part of a grant that is control, not data. Lives here
+/// (not scheduler.hpp) so the tuner's cost model can price grant headers
+/// without pulling in the protocol templates.
+inline constexpr std::int64_t kGrantHeaderBytes = 1 + 3 * 8;
 
 /// Number of atoms a domain of `extent` outer units splits into.
 inline index_t atom_count(index_t extent, index_t grain) {

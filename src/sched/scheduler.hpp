@@ -47,6 +47,7 @@
 #include "net/residency.hpp"
 #include "runtime/parallel.hpp"
 #include "sched/policy.hpp"
+#include "sched/tuner.hpp"
 #include "support/timing.hpp"
 
 namespace triolet::sched {
@@ -64,10 +65,6 @@ struct Grant {
   index_t grain = 0;
   It task{};
 };
-
-/// Wire size of a Grant minus its task payload (done + three index_t
-/// fields) — the part of a grant that is control, not data.
-inline constexpr std::int64_t kGrantHeaderBytes = 1 + 3 * 8;
 
 namespace detail {
 
@@ -130,21 +127,16 @@ class PoolDeltaScope {
 
 }  // namespace detail
 
-/// The scheduler core: runs `make()`'s iterator across all ranks under
-/// `opts`, invoking `on_chunk(run_iter, atom_lo, atom_n, grain)` on the
-/// rank that executes each granted run. `make` is called on rank 0 only
-/// (same contract as dist::scatter_chunks); `on_chunk` runs on every rank
-/// for its own grants. Collective: every rank must call it.
-///
-/// With opts.streaming (kGuided/kDynamic), grants are handed to the rank's
-/// current_pool() through a core::StreamingConsumer as they arrive, so
-/// on_chunk may run on pool workers, *concurrently* with itself — callers
-/// that pass streaming options must make on_chunk thread-safe. The stream
-/// is drained before run_chunks returns, so results are complete either
-/// way.
+namespace detail {
+
+/// The scheduler body for one concrete policy (kStatic/kGuided/kDynamic).
+/// Factored out of run_chunks so the kAuto wrapper can re-enter with
+/// instrumented closures without run_chunks calling *itself*: the wrapper
+/// closures are fresh template types, so a self-call would instantiate
+/// run_chunks without bound.
 template <typename MakeIter, typename OnChunk>
-void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
-                OnChunk&& on_chunk) {
+void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
+                         const SchedOptions& opts, OnChunk&& on_chunk) {
   using It = std::remove_cvref_t<decltype(make())>;
   const int p = comm.size();
   auto& sched = comm.sched_stats();
@@ -185,9 +177,15 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     std::optional<net::ResidencyDecodeScope> rscope;
     if (resident) rscope.emplace(comm, /*owner=*/0);
     if (opts.policy == SchedulePolicy::kStatic) {
-      // Static: exactly one pre-assigned grant, no requests.
-      Grant<It> g = comm.recv<Grant<It>>(0, tag_grant);
+      // Static: exactly one pre-assigned grant, no requests. Received
+      // through a handle so the serialized payload size is observable for
+      // the bytes-per-item calibration.
+      net::PendingRecv pending = comm.irecv(0, tag_grant);
+      Grant<It> g = pending.get<Grant<It>>();
       sched.grants_received += 1;
+      sched.grant_payload_bytes +=
+          static_cast<std::int64_t>(pending.message().payload.size());
+      sched.granted_items += core::outer_extent(g.task.domain());
       detail::execute_run(comm, g.task, g.atom_lo, g.atom_n, g.grain,
                           on_chunk);
       return;
@@ -220,6 +218,12 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
       sched.steal_waits += 1;
       if (g.done) break;
       sched.grants_received += 1;
+      // Receiver-side payload accounting: serialized bytes over granted
+      // units is the measured bytes-per-item the tuner calibrates with
+      // (residency tokens show up here as genuinely small payloads).
+      sched.grant_payload_bytes +=
+          static_cast<std::int64_t>(next_grant.message().payload.size());
+      sched.granted_items += core::outer_extent(g.task.domain());
       if (stream) {
         // Hand the grant to the pool and immediately request the next one;
         // when too much is queued, help execute before requesting (the
@@ -378,6 +382,55 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     stream->drain();
     sched.busy_seconds += stream->busy_seconds();
   }
+}
+
+}  // namespace detail
+
+/// The scheduler core: runs `make()`'s iterator across all ranks under
+/// `opts`, invoking `on_chunk(run_iter, atom_lo, atom_n, grain)` on the
+/// rank that executes each granted run. `make` is called on rank 0 only
+/// (same contract as dist::scatter_chunks); `on_chunk` runs on every rank
+/// for its own grants. Collective: every rank must call it.
+///
+/// With opts.streaming (kGuided/kDynamic), grants are handed to the rank's
+/// current_pool() through a core::StreamingConsumer as they arrive, so
+/// on_chunk may run on pool workers, *concurrently* with itself — callers
+/// that pass streaming options must make on_chunk thread-safe. The stream
+/// is drained before run_chunks returns, so results are complete either
+/// way. Under SchedulePolicy::kAuto the tuner may pick any lattice point —
+/// including streaming — so on_chunk must be thread-safe under kAuto too.
+template <typename MakeIter, typename OnChunk>
+void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
+                OnChunk&& on_chunk) {
+  if (opts.policy == SchedulePolicy::kAuto) {
+    // Model-driven mode (sched/tuner.hpp): resolve this round's concrete
+    // options from the tuner, run them with an instrumented on_chunk that
+    // samples per-run durations, then fit + re-pick collectively from the
+    // round's counter delta.
+    AutoTuner& tuner = detail::tuner_for(comm, opts);
+    const SchedOptions round_opts = tuner.begin_round(opts);
+    const net::CommStats before = comm.snapshot_stats();
+    index_t root_extent = -1;
+    Stopwatch wall;
+    detail::run_chunks_concrete(
+        comm,
+        [&] {
+          auto it = make();
+          root_extent = core::outer_extent(it.domain());
+          return it;
+        },
+        round_opts,
+        [&](const auto& run, index_t atom_lo, index_t atom_n, index_t grain) {
+          Stopwatch sw;
+          on_chunk(run, atom_lo, atom_n, grain);
+          tuner.record_run(atom_lo, grain, core::outer_extent(run.domain()),
+                           sw.seconds());
+        });
+    tuner.finish_round(comm, wall.seconds(), comm.snapshot_stats() - before,
+                       root_extent);
+    return;
+  }
+  detail::run_chunks_concrete(comm, make, opts, on_chunk);
 }
 
 namespace detail {

@@ -1,0 +1,293 @@
+#include "sched/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "support/macros.hpp"
+
+namespace triolet::sched {
+
+namespace {
+
+/// One rank's contribution to a round fit: its executed runs, its wall
+/// time for the round, the job extent (root only; -1 elsewhere), and its
+/// counter delta. Allgathered so every rank fits the identical dataset.
+struct RoundSample {
+  std::vector<RunSample> runs;
+  double wall_seconds = 0.0;
+  std::int64_t extent = -1;
+  net::CommStats delta{};
+};
+
+template <typename F>
+void triolet_visit_fields(RoundSample& obj, F&& f) {
+  auto& [runs, wall_seconds, extent, delta] = obj;
+  f(runs, wall_seconds, extent, delta);
+}
+
+/// Re-aggregates measured per-run durations into per-atom durations at an
+/// arbitrary candidate grain. Run seconds spread uniformly over the run's
+/// units — exact when runs are single atoms (the measurement round), an
+/// approximation that keeps macro skew when later rounds run coarser.
+std::vector<double> atoms_from_runs(const std::vector<RunSample>& runs,
+                                    index_t extent, index_t grain) {
+  const index_t n = atom_count(extent, grain);
+  std::vector<double> atoms(static_cast<std::size_t>(n), 0.0);
+  for (const auto& r : runs) {
+    if (r.units <= 0 || r.seconds <= 0.0) continue;
+    const double per_unit = r.seconds / static_cast<double>(r.units);
+    index_t u = r.unit_lo;
+    index_t left = r.units;
+    while (left > 0) {
+      const index_t a = u / grain;
+      if (a < 0 || a >= n) break;
+      const index_t take = std::min(left, (a + 1) * grain - u);
+      atoms[static_cast<std::size_t>(a)] += per_unit * static_cast<double>(take);
+      u += take;
+      left -= take;
+    }
+  }
+  return atoms;
+}
+
+/// Collapses atom durations into the guided grant sequence for `ranks`
+/// (mirrors the root's serve loop: runs of guided_run_atoms, decaying).
+std::vector<double> guided_chunks(const std::vector<double>& atoms,
+                                  int ranks) {
+  std::vector<double> chunks;
+  const index_t n = static_cast<index_t>(atoms.size());
+  index_t next = 0;
+  while (next < n) {
+    const index_t remaining = n - next;
+    const index_t k = std::min(remaining, guided_run_atoms(remaining, ranks));
+    double s = 0.0;
+    for (index_t i = next; i < next + k; ++i) {
+      s += atoms[static_cast<std::size_t>(i)];
+    }
+    chunks.push_back(s);
+    next += k;
+  }
+  return chunks;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double d : v) s += d;
+  return s / static_cast<double>(v.size());
+}
+
+/// Evaluates one candidate through the calibrated makespan models.
+double predict(const std::vector<double>& atoms, const sim::Calibration& cal,
+               int ranks, index_t extent, const TunedCandidate& c) {
+  if (atoms.empty()) return 0.0;
+  const double units_per_atom =
+      static_cast<double>(extent) / static_cast<double>(atoms.size());
+  const double atom_payload =
+      static_cast<double>(kGrantHeaderBytes) +
+      units_per_atom * cal.grant_bytes_per_item;
+  const double mean_atom_seconds = mean_of(atoms);
+  switch (c.policy) {
+    case SchedulePolicy::kStatic: {
+      // No protocol traffic; one pushed grant per rank. Charge one grant
+      // delivery (latency + a rank-block payload) on the startup path —
+      // the rest of the serialization overlaps the root's own block.
+      const double block_bytes =
+          static_cast<double>(extent) / static_cast<double>(ranks) *
+          cal.grant_bytes_per_item;
+      return sim::makespan_static_block(atoms, ranks) + cal.latency_seconds +
+             block_bytes * cal.seconds_per_grant_byte;
+    }
+    case SchedulePolicy::kGuided: {
+      const auto chunks = guided_chunks(atoms, ranks);
+      const double run_atoms =
+          static_cast<double>(atoms.size()) /
+          static_cast<double>(std::max<std::size_t>(1, chunks.size()));
+      const double oh = cal.overhead_for(run_atoms * atom_payload,
+                                         mean_atom_seconds, c.streaming);
+      return (c.prefetch || c.streaming)
+                 ? sim::makespan_overlap(chunks, ranks, oh)
+                 : sim::makespan_demand(chunks, ranks, oh);
+    }
+    case SchedulePolicy::kDynamic: {
+      const double oh =
+          cal.overhead_for(atom_payload, mean_atom_seconds, c.streaming);
+      return (c.prefetch || c.streaming)
+                 ? sim::makespan_overlap(atoms, ranks, oh)
+                 : sim::makespan_demand(atoms, ranks, oh);
+    }
+    case SchedulePolicy::kAuto: break;  // never evaluated
+  }
+  TRIOLET_CHECK(false, "kAuto is not a concrete candidate");
+  return 0.0;
+}
+
+}  // namespace
+
+SchedOptions AutoTuner::begin_round(const SchedOptions& user) {
+  TRIOLET_CHECK(user.policy == SchedulePolicy::kAuto,
+                "AutoTuner::begin_round expects kAuto options");
+  user_ = user;
+  SchedOptions out = user;
+  out.tuner = nullptr;  // the returned options are concrete, not re-tuned
+  if (!have_pick_) {
+    // Measurement round: one atom per grant at full duration resolution;
+    // prefetch and streaming off so the request->grant wait measures the
+    // whole unhidden control round trip.
+    out.policy = SchedulePolicy::kDynamic;
+    out.prefetch = false;
+    out.streaming = false;
+  } else {
+    out.policy = pick_.policy;
+    out.grain = pick_.grain;
+    out.prefetch = pick_.prefetch;
+    out.streaming = pick_.streaming;
+  }
+  ran_ = out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.clear();
+  }
+  return out;
+}
+
+void AutoTuner::record_run(index_t atom_lo, index_t grain, index_t units,
+                           double seconds) {
+  if (units <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.push_back(RunSample{atom_lo * grain, units, seconds});
+}
+
+void AutoTuner::finish_round(net::Comm& comm, double wall_seconds,
+                             const net::CommStats& delta,
+                             index_t root_extent) {
+  RoundSample mine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mine.runs = std::move(runs_);
+    runs_.clear();
+  }
+  mine.wall_seconds = wall_seconds;
+  mine.extent = root_extent;
+  mine.delta = delta;
+
+  // Every rank receives the identical sample set (allgather is indexed by
+  // rank), so the fit and the pick below are bit-identical cluster-wide
+  // without any broadcast.
+  auto all = comm.allgather(mine);
+
+  net::CommStats sum{};
+  double max_wall = 0.0;
+  index_t extent = -1;
+  std::vector<RunSample> runs;
+  for (auto& s : all) {
+    sum += s.delta;
+    max_wall = std::max(max_wall, s.wall_seconds);
+    if (s.extent >= 0) extent = s.extent;
+    runs.insert(runs.end(), s.runs.begin(), s.runs.end());
+  }
+  rounds_ += 1;
+  measured_ = max_wall;
+  if (extent <= 0 || runs.empty()) return;  // empty job: nothing to fit
+  extent_ = extent;
+  // Runs of one round are disjoint, so unit_lo orders them totally — the
+  // merged profile is deterministic regardless of arrival interleaving.
+  std::sort(runs.begin(), runs.end(),
+            [](const RunSample& a, const RunSample& b) {
+              return a.unit_lo < b.unit_lo;
+            });
+
+  sim::Calibration c = sim::calibrate_from(sum, sum.sched, sum.pool);
+  // The round-trip decomposition is only trustworthy when this round left
+  // the wait exposed: a demand policy with prefetch and streaming off
+  // (normally just the measurement round). Otherwise idle_seconds measures
+  // the *hidden* remainder — carry the last clean figures forward.
+  const bool clean_rt = ran_.policy != SchedulePolicy::kStatic &&
+                        !ran_.prefetch && !ran_.streaming;
+  if (!clean_rt || c.round_trip_seconds <= 0.0) {
+    c.round_trip_seconds = cal_.round_trip_seconds;
+    c.service_delay_seconds = cal_.service_delay_seconds;
+    c.latency_seconds = cal_.latency_seconds;
+  }
+  if (c.grant_bytes_per_item <= 0.0) {
+    c.grant_bytes_per_item = cal_.grant_bytes_per_item;
+  }
+  if (!c.valid()) return;  // keep the previous pick and calibration
+  cal_ = c;
+
+  const int p = comm.size();
+
+  // Grain ladder. kOrdered consumers (and callers that pinned a grain) get
+  // exactly the policy-independent resolve_grain value, preserving the
+  // bitwise-identity invariant; kTree consumers explore octaves around it.
+  std::vector<index_t> ladder;
+  if (user_.combine == CombineMode::kOrdered || user_.grain > 0) {
+    ladder.push_back(resolve_grain(extent, p, user_.grain));
+  } else {
+    const index_t g0 = resolve_grain(extent, p, 0);
+    for (int o = -cfg_.grain_octaves; o <= cfg_.grain_octaves; ++o) {
+      index_t g = o < 0 ? std::max<index_t>(1, g0 >> (-o)) : g0 << o;
+      ladder.push_back(std::clamp<index_t>(g, 1, std::max<index_t>(1, extent)));
+    }
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  }
+
+  // Candidate lattice: policy x grain x {prefetch, streaming}. Lattice
+  // order doubles as the deterministic tie-break — earlier entries win
+  // exact ties, so the simplest adequate configuration is preferred
+  // (static before demand policies, plain prefetch before streaming).
+  struct Variant {
+    bool prefetch;
+    bool streaming;
+  };
+  std::vector<Variant> variants{{true, false}};
+  if (cfg_.explore_prefetch) variants.push_back({false, false});
+  if (cfg_.explore_streaming) variants.push_back({true, true});
+
+  cands_.clear();
+  std::map<index_t, std::vector<double>> atoms_by_grain;
+  auto atoms_for = [&](index_t g) -> const std::vector<double>& {
+    auto it = atoms_by_grain.find(g);
+    if (it == atoms_by_grain.end()) {
+      it = atoms_by_grain.emplace(g, atoms_from_runs(runs, extent, g)).first;
+    }
+    return it->second;
+  };
+  for (SchedulePolicy policy :
+       {SchedulePolicy::kStatic, SchedulePolicy::kGuided,
+        SchedulePolicy::kDynamic}) {
+    for (index_t g : ladder) {
+      if (policy == SchedulePolicy::kStatic) {
+        TunedCandidate c0{policy, g, true, false, 0.0};
+        c0.predicted_seconds = predict(atoms_for(g), cal_, p, extent, c0);
+        cands_.push_back(c0);
+        continue;
+      }
+      for (const Variant& v : variants) {
+        TunedCandidate c0{policy, g, v.prefetch, v.streaming, 0.0};
+        c0.predicted_seconds = predict(atoms_for(g), cal_, p, extent, c0);
+        cands_.push_back(c0);
+      }
+    }
+  }
+
+  const TunedCandidate* best = nullptr;
+  for (const auto& cand : cands_) {
+    if (best == nullptr || cand.predicted_seconds < best->predicted_seconds) {
+      best = &cand;
+    }
+  }
+  TRIOLET_CHECK(best != nullptr, "candidate lattice cannot be empty");
+  pick_ = user_;
+  pick_.tuner = nullptr;
+  pick_.policy = best->policy;
+  pick_.grain = best->grain;
+  pick_.prefetch = best->prefetch;
+  pick_.streaming = best->streaming;
+  predicted_ = best->predicted_seconds;
+  have_pick_ = true;
+}
+
+}  // namespace triolet::sched

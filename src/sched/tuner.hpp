@@ -1,0 +1,163 @@
+#pragma once
+
+// Model-driven autotuning for the demand scheduler (SchedulePolicy::kAuto).
+//
+// PRs 2–5 left SchedOptions a pile of hand-set knobs: policy, grain,
+// prefetch, streaming. The AutoTuner closes the measure→simulate loop the
+// benches already run by hand (bm_sched measures per-atom durations and
+// asks sim::makespan_demand which policy should win) and runs it *inside*
+// the scheduler, per round of an iterative job:
+//
+//   round 0  measurement: the job runs under kDynamic with prefetch and
+//            streaming off — one atom per grant gives the model per-atom
+//            durations at full resolution, and an unhidden request/grant
+//            wait measures the true control round trip.
+//   fit      each rank allgathers its round sample (per-run durations plus
+//            its Comm::snapshot_stats() counter delta); every rank sums the
+//            identical data and calls sim::calibrate_from, recovering the
+//            compute / byte / latency coefficients (sim::Calibration).
+//   pick     candidate SchedOptions — policy x grain ladder x prefetch x
+//            streaming — are evaluated through makespan_demand /
+//            makespan_overlap / makespan_static_block on the measured atom
+//            durations; the predicted-best config is installed for the next
+//            round. Re-picked every round as measurements refresh.
+//
+// Determinism: all tuner state that influences a decision is derived from
+// allgathered data, so every rank computes bit-identical picks without a
+// broadcast — the SPMD analogue of the options being literal constants.
+//
+// kOrdered safety: when the consumer combines in atom order (or the caller
+// pinned an explicit grain), the grain ladder collapses to the one
+// policy-independent resolve_grain value, so the atom decomposition — and
+// therefore every kOrdered result — is bitwise identical to every manual
+// configuration at that grain, no matter which policy/prefetch/streaming
+// combination the tuner picks.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/comm.hpp"
+#include "sched/policy.hpp"
+#include "sim/schedule.hpp"
+
+namespace triolet::sched {
+
+/// One executed grant's measured duration, in outer-domain units so samples
+/// taken at one grain can be re-aggregated into atoms of any other grain.
+/// unit_lo is absolute within the job's domain; runs of one round are
+/// disjoint and cover it.
+struct RunSample {
+  std::int64_t unit_lo = 0;
+  std::int64_t units = 0;
+  double seconds = 0.0;
+};
+
+TRIOLET_SERIALIZE_FIELDS(RunSample, unit_lo, units, seconds)
+
+/// One candidate configuration and the model's verdict on it.
+struct TunedCandidate {
+  SchedulePolicy policy = SchedulePolicy::kStatic;
+  index_t grain = 1;  // resolved, always > 0
+  bool prefetch = true;
+  bool streaming = false;
+  double predicted_seconds = 0.0;
+};
+
+struct TunerConfig {
+  /// Grain ladder half-width in octaves around the resolve_grain default:
+  /// 2 explores {g/4, g/2, g, 2g, 4g}. Only open for kTree consumers — a
+  /// kOrdered consumer pins the grain (see header comment).
+  int grain_octaves = 2;
+  /// Include prefetch-off / streaming-on points in the lattice.
+  bool explore_prefetch = true;
+  bool explore_streaming = true;
+};
+
+class AutoTuner;
+
+/// The implicit registry run_chunks keeps in Comm::sched_state() when
+/// SchedOptions::tuner is null: one AutoTuner per tune_key, living as long
+/// as the Comm, so iterative jobs accumulate rounds with zero caller state.
+struct TunerRegistry {
+  std::map<std::uint64_t, AutoTuner> jobs;
+};
+
+/// Per-rank autotuner state for one logical job. Rank-local, but every
+/// decision is a pure function of allgathered round samples, so all ranks'
+/// tuners stay in lockstep (see header comment). Used by run_chunks via
+/// SchedulePolicy::kAuto; usable directly for inspection in tests/benches.
+class AutoTuner {
+ public:
+  AutoTuner() = default;
+  explicit AutoTuner(TunerConfig cfg) : cfg_(cfg) {}
+
+  /// Completed rounds (finish_round calls).
+  int rounds() const { return rounds_; }
+  /// The configuration the next round will run (valid after one round).
+  const SchedOptions& pick() const { return pick_; }
+  bool have_pick() const { return have_pick_; }
+  /// Last fitted model coefficients.
+  const sim::Calibration& calibration() const { return cal_; }
+  /// The full evaluated lattice of the last finish_round, predicted-best
+  /// first is NOT guaranteed — entries keep lattice order; see pick().
+  const std::vector<TunedCandidate>& candidates() const { return cands_; }
+  /// Max-over-ranks wall seconds of the last round, and what the model
+  /// predicted for the configuration that ran it (0 before any pick ran).
+  double last_measured_seconds() const { return measured_; }
+  double last_predicted_seconds() const { return predicted_; }
+  /// Outer extent of the job as seen by the root (after one round).
+  index_t extent() const { return extent_; }
+
+  /// Resolves this round's concrete options from the user's kAuto options:
+  /// the measurement config on the first round (or after the job's extent
+  /// changed), the model's pick afterwards. Never returns kAuto. Also
+  /// begins the round's sample collection.
+  SchedOptions begin_round(const SchedOptions& user);
+
+  /// Records one executed run (called by run_chunks' instrumented on_chunk
+  /// wrapper; thread-safe — streamed runs record from pool workers).
+  void record_run(index_t atom_lo, index_t grain, index_t units,
+                  double seconds);
+
+  /// Collective round finish: allgathers this rank's samples and counter
+  /// delta, refits the calibration, evaluates the candidate lattice, and
+  /// installs the predicted-best configuration for the next round.
+  /// `root_extent` is the job's outer extent on rank 0, -1 elsewhere.
+  void finish_round(net::Comm& comm, double wall_seconds,
+                    const net::CommStats& delta, index_t root_extent);
+
+ private:
+  TunerConfig cfg_{};
+  int rounds_ = 0;
+  index_t extent_ = -1;
+  bool have_pick_ = false;
+  SchedOptions user_{};  // the kAuto options begin_round saw (combine, grain)
+  SchedOptions ran_{};   // the concrete options of the in-flight round
+  SchedOptions pick_{};
+  sim::Calibration cal_{};
+  std::vector<TunedCandidate> cands_;
+  double measured_ = 0.0;
+  double predicted_ = 0.0;
+
+  std::mutex mu_;  // guards runs_ (streamed on_chunk records concurrently)
+  std::vector<RunSample> runs_;
+};
+
+namespace detail {
+
+/// Resolves the tuner for one run_chunks call: the caller-owned one when
+/// SchedOptions::tuner is set, else the Comm-registry entry for tune_key
+/// (created on first use).
+inline AutoTuner& tuner_for(net::Comm& comm, const SchedOptions& opts) {
+  if (opts.tuner != nullptr) return *opts.tuner;
+  auto& slot = comm.sched_state();
+  if (!slot) slot = std::make_shared<TunerRegistry>();
+  return static_cast<TunerRegistry*>(slot.get())->jobs[opts.tune_key];
+}
+
+}  // namespace detail
+
+}  // namespace triolet::sched

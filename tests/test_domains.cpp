@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <tuple>
 
 #include "core/domains.hpp"
+#include "runtime/parallel.hpp"
+#include "sched/policy.hpp"
 
 namespace triolet::core {
 namespace {
@@ -278,6 +281,52 @@ TEST(OuterSlice, ConsecutiveSlicesPartitionTheDomain) {
   }
   EXPECT_EQ(rows_covered, outer_extent(d));
   EXPECT_EQ(expected_y, d.y1);
+}
+
+// -- shared grain heuristic (auto_grain_for) ----------------------------------
+
+TEST(AutoGrainFor, PinnedValues) {
+  // The one heuristic both runtime::auto_grain (parts = threads) and
+  // sched::resolve_grain (parts = ranks) delegate to: aim for ~8 chunks per
+  // part, floored at one unit. Pinned so any change announces itself here
+  // instead of silently re-chunking every consumer at both levels.
+  EXPECT_EQ(auto_grain_for(3200, 4), 100);
+  EXPECT_EQ(auto_grain_for(1000, 4), 31);
+  EXPECT_EQ(auto_grain_for(64, 0), 8);  // parts floored at 1
+  EXPECT_EQ(auto_grain_for(0, 8), 1);   // empty extent still legal
+  EXPECT_EQ(auto_grain_for(1, 8), 1);
+  EXPECT_EQ(auto_grain_for(5, 8), 1);   // tiny extent floors at 1
+  EXPECT_EQ(auto_grain_for(7, 1), 1);
+  EXPECT_EQ(auto_grain_for(16, 1), 2);
+  EXPECT_EQ(auto_grain_for(1 << 20, 8), (1 << 20) / 64);
+}
+
+TEST(AutoGrainFor, BothRuntimeLevelsAgree) {
+  // The thread-level and rank-level grain choices were once separate
+  // copies of this formula; keep them pinned to the shared helper so they
+  // can never drift apart again.
+  for (index_t n : {index_t{0}, index_t{1}, index_t{5}, index_t{64},
+                    index_t{1000}, index_t{3200}, index_t{100000}}) {
+    for (int p : {1, 2, 4, 8, 64}) {
+      EXPECT_EQ(runtime::auto_grain(n, p), auto_grain_for(n, p))
+          << "n=" << n << " p=" << p;
+      EXPECT_EQ(sched::resolve_grain(n, p, 0), auto_grain_for(n, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(AutoGrainFor, GrainTilesTheExtent) {
+  // The chosen grain always lies in [1, max(1, extent)], so atom_count is
+  // well-defined even for degenerate domains.
+  for (index_t n : {index_t{0}, index_t{1}, index_t{7}, index_t{8},
+                    index_t{9}, index_t{1023}}) {
+    for (int p : {1, 3, 16}) {
+      const index_t g = auto_grain_for(n, p);
+      EXPECT_GE(g, 1);
+      EXPECT_LE(g, std::max<index_t>(1, n));
+    }
+  }
 }
 
 }  // namespace
