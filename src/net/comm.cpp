@@ -15,11 +15,18 @@ void ClusterState::abort_all() {
   for (auto& m : inboxes) m->interrupt();
 }
 
+void ClusterState::interrupt_all() {
+  for (auto& m : inboxes) m->interrupt();
+}
+
 void Comm::deliver_segments(int dst, int tag, serial::SegmentedBytes sg,
                             int collective) {
   Message m;
   m.src = rank_;
-  m.tag = tag;
+  // The single send-side mapping point for all segment sends (blocking
+  // send/send_segments and every isend flavor routes through here, on the
+  // rank thread or the progress engine — the map is immutable state).
+  m.tag = tags_.map(tag);
   const auto zero_copy = static_cast<std::int64_t>(sg.bytes_borrowed());
   const auto total = static_cast<std::int64_t>(sg.size());
   // Assemble the payload: borrowed segments are copied exactly once, here,
@@ -62,7 +69,7 @@ void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
   flush_async();
   Message m;
   m.src = rank_;
-  m.tag = tag;
+  m.tag = tags_.map(tag);
   m.checksum = serial::checksum(payload);
   const auto total = static_cast<std::int64_t>(payload.size());
   {
@@ -87,7 +94,7 @@ PendingSend Comm::isend_bytes(int dst, int tag, std::vector<std::byte> payload) 
   return PendingSend(engine().post([this, dst, tag, buf] {
     Message m;
     m.src = rank_;
-    m.tag = tag;
+    m.tag = tags_.map(tag);
     m.checksum = serial::checksum(*buf);
     const auto total = static_cast<std::int64_t>(buf->size());
     {
@@ -125,14 +132,24 @@ void Comm::dispatch_service(std::size_t idx, Message& m) {
 }
 
 void Comm::set_service(int tag, std::function<void(Message&)> handler) {
+  const int mapped = tags_.map(tag);
   for (const auto& s : services_) {
-    TRIOLET_CHECK(s.first != tag, "service already registered for this tag");
+    TRIOLET_CHECK(s.first != mapped, "service already registered for this tag");
   }
-  services_.emplace_back(tag, std::move(handler));
+  services_.emplace_back(mapped, std::move(handler));
 }
 
 void Comm::clear_service(int tag) {
-  std::erase_if(services_, [&](const auto& s) { return s.first == tag; });
+  const int mapped = tags_.map(tag);
+  std::erase_if(services_, [&](const auto& s) { return s.first == mapped; });
+}
+
+bool Comm::has_service(int tag) const {
+  const int mapped = tags_.map(tag);
+  for (const auto& s : services_) {
+    if (s.first == mapped) return true;
+  }
+  return false;
 }
 
 void Comm::poll_services() {
@@ -151,14 +168,19 @@ Message Comm::pop_with_services(std::span<const std::pair<int, int>> user,
   auto* inbox = state_->inboxes[static_cast<std::size_t>(rank_)].get();
   // Service patterns come first: pop_match_any reports the first matching
   // pattern of the *earliest* matching message, so a queued service request
-  // is dispatched even when a user pattern is a full wildcard.
+  // is dispatched even when a user pattern is a full wildcard. Service tags
+  // are stored mapped; user patterns arrive canonical and map here.
   std::vector<std::pair<int, int>> patterns;
   patterns.reserve(services_.size() + user.size());
   for (const auto& s : services_) patterns.emplace_back(kAnySource, s.first);
-  patterns.insert(patterns.end(), user.begin(), user.end());
+  for (const auto& [src, tag] : user) {
+    patterns.emplace_back(src, tags_.map_pattern(tag));
+  }
   while (true) {
     std::size_t which = 0;
-    Message m = inbox->pop_match_any(patterns, state_->aborted, which);
+    Message m =
+        inbox->pop_match_any(patterns, state_->aborted, which, tags_.any_lo(),
+                             tags_.any_hi(), job_aborted_);
     if (which < services_.size()) {
       finish_recv(m, /*attribute_collective=*/false);
       dispatch_service(which, m);
@@ -178,7 +200,8 @@ Message Comm::recv_message(int src, int tag) {
   flush_async();
   if (services_.empty()) {
     Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
-        src, tag, state_->aborted);
+        src, tags_.map_pattern(tag), state_->aborted, tags_.any_lo(),
+        tags_.any_hi(), job_aborted_);
     finish_recv(m);
     return m;
   }
@@ -189,8 +212,8 @@ Message Comm::recv_message(int src, int tag) {
 
 std::optional<Message> Comm::try_recv_message(int src, int tag) {
   Message m;
-  if (!state_->inboxes[static_cast<std::size_t>(rank_)]->try_pop_match(src, tag,
-                                                                       m)) {
+  if (!state_->inboxes[static_cast<std::size_t>(rank_)]->try_pop_match(
+          src, tags_.map_pattern(tag), m, tags_.any_lo(), tags_.any_hi())) {
     return std::nullopt;
   }
   finish_recv(m);

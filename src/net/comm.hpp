@@ -305,16 +305,46 @@ struct ClusterState {
   std::atomic<bool> aborted{false};
 
   void abort_all();
+
+  /// Wakes every blocked receiver *without* raising the cluster abort flag:
+  /// the service layer uses this after raising a per-job abort flag, so the
+  /// failing job's waiters throw ClusterAborted while unrelated jobs
+  /// re-check their own flags and go back to sleep.
+  void interrupt_all();
 };
 
 class PendingRecv;
 
 class Comm {
  public:
-  Comm(int rank, ClusterState* state) : rank_(rank), state_(state) {}
+  /// The two-argument form is the classic single-job communicator. The
+  /// service layer (src/svc/) passes the extra arguments: `tags` remaps the
+  /// whole canonical tag space into the job's leased band (net/tags.hpp
+  /// TagMap), `shared_residency` points at the rank's manager-owned slice
+  /// cache so residency survives across jobs, and `job_aborted` is the
+  /// job group's private abort flag — raised on a job failure so only that
+  /// group's blocked receives throw, not the whole service.
+  explicit Comm(int rank, ClusterState* state, TagMap tags = {},
+                Residency* shared_residency = nullptr,
+                std::atomic<bool>* job_aborted = nullptr)
+      : rank_(rank),
+        state_(state),
+        tags_(tags),
+        shared_residency_(shared_residency),
+        job_aborted_(job_aborted) {}
 
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(state_->inboxes.size()); }
+
+  /// This Comm's tag map (identity outside the service layer).
+  const TagMap& tag_map() const { return tags_; }
+
+  /// Stable identity of the tag lease (0 outside the service layer): what
+  /// the sched layer folds into tune keys so concurrent jobs' tuners and
+  /// models never share state by accident.
+  std::uint64_t job_key() const {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(tags_.base));
+  }
 
   // -- point to point ---------------------------------------------------------
 
@@ -705,9 +735,13 @@ class Comm {
   // -- slice residency ----------------------------------------------------------
 
   /// This rank's residency state (receive-side slice cache + per-peer
-  /// sender models), created on first use with the budget captured from
-  /// slice_cache_budget().
+  /// sender models). Outside the service layer it is created on first use
+  /// with the budget captured from slice_cache_budget() and lives as long
+  /// as the Comm; under a JobManager it is the manager-owned per-rank
+  /// Residency shared by every job on this rank, so cached slices survive
+  /// across jobs (guarded by Residency::mu — see net/residency.hpp).
   Residency& residency() {
+    if (shared_residency_) return *shared_residency_;
     if (!residency_) {
       residency_ = std::make_unique<Residency>(slice_cache_budget(),
                                                &stats_.residency);
@@ -729,11 +763,16 @@ class Comm {
   // Handlers run on the rank thread, always listed *before* the user
   // pattern, so a wildcard receive can never steal a service message.
 
-  /// Registers `handler` for (kAnySource, tag). One handler per tag.
+  /// Registers `handler` for (kAnySource, tag). One handler per tag. `tag`
+  /// is canonical; it is stored mapped so dispatch matches mapped traffic.
   void set_service(int tag, std::function<void(Message&)> handler);
 
   /// Removes the handler for `tag` (no-op when absent).
   void clear_service(int tag);
+
+  /// True when a handler is registered for canonical `tag` (idempotent
+  /// installation, e.g. the residency fetch service).
+  bool has_service(int tag) const;
 
   /// Drains and dispatches every queued service message without blocking —
   /// for request-polling loops that do not go through a blocking receive.
@@ -833,6 +872,13 @@ class Comm {
 
   int rank_;
   ClusterState* state_;
+  /// Canonical-to-leased-band tag map; immutable after construction, so
+  /// mapping is safe from both the rank thread and the progress engine.
+  TagMap tags_;
+  /// Manager-owned per-rank residency (null outside the service layer).
+  Residency* shared_residency_ = nullptr;
+  /// Per-job-group abort flag (null outside the service layer).
+  std::atomic<bool>* job_aborted_ = nullptr;
   CommStats stats_;
   /// Guards stats_: the progress engine records send traffic concurrently
   /// with the rank thread's own sends/receives.

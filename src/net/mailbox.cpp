@@ -1,5 +1,7 @@
 #include "net/mailbox.hpp"
 
+#include <algorithm>
+
 namespace triolet::net {
 
 void Mailbox::push(Message msg) {
@@ -13,10 +15,13 @@ void Mailbox::push(Message msg) {
   cv_.notify_all();
 }
 
-bool Mailbox::match_locked(int src, int tag, Message& out) {
+bool Mailbox::match_locked(int src, int tag, Message& out, int wild_lo,
+                           int wild_hi) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if ((src == kAnySource || it->src == src) &&
-        (tag == kAnyTag || it->tag == tag)) {
+    const bool tag_ok = tag == kAnyTag
+                            ? (it->tag >= wild_lo && it->tag < wild_hi)
+                            : it->tag == tag;
+    if ((src == kAnySource || it->src == src) && tag_ok) {
       out = std::move(*it);
       queue_.erase(it);
       return true;
@@ -25,26 +30,31 @@ bool Mailbox::match_locked(int src, int tag, Message& out) {
   return false;
 }
 
-Message Mailbox::pop_match(int src, int tag, const std::atomic<bool>& aborted) {
+Message Mailbox::pop_match(int src, int tag, const std::atomic<bool>& aborted,
+                           int wild_lo, int wild_hi,
+                           const std::atomic<bool>* also_aborted) {
   std::unique_lock<std::mutex> lock(mu_);
   Message out;
   bool found = false;
   cv_.wait(lock, [&] {
-    found = match_locked(src, tag, out);
-    return found || aborted.load(std::memory_order_acquire);
+    found = match_locked(src, tag, out, wild_lo, wild_hi);
+    return found || aborted.load(std::memory_order_acquire) ||
+           (also_aborted && also_aborted->load(std::memory_order_acquire));
   });
   if (!found) throw ClusterAborted();
   return out;
 }
 
-bool Mailbox::try_pop_match(int src, int tag, Message& out) {
+bool Mailbox::try_pop_match(int src, int tag, Message& out, int wild_lo,
+                            int wild_hi) {
   std::lock_guard<std::mutex> lock(mu_);
-  return match_locked(src, tag, out);
+  return match_locked(src, tag, out, wild_lo, wild_hi);
 }
 
 Message Mailbox::pop_match_any(std::span<const std::pair<int, int>> patterns,
                                const std::atomic<bool>& aborted,
-                               std::size_t& which) {
+                               std::size_t& which, int wild_lo, int wild_hi,
+                               const std::atomic<bool>* also_aborted) {
   std::unique_lock<std::mutex> lock(mu_);
   Message out;
   bool found = false;
@@ -54,8 +64,10 @@ Message Mailbox::pop_match_any(std::span<const std::pair<int, int>> patterns,
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       for (std::size_t p = 0; p < patterns.size(); ++p) {
         const auto [src, tag] = patterns[p];
-        if ((src == kAnySource || it->src == src) &&
-            (tag == kAnyTag || it->tag == tag)) {
+        const bool tag_ok = tag == kAnyTag
+                                ? (it->tag >= wild_lo && it->tag < wild_hi)
+                                : it->tag == tag;
+        if ((src == kAnySource || it->src == src) && tag_ok) {
           out = std::move(*it);
           queue_.erase(it);
           which = p;
@@ -67,13 +79,22 @@ Message Mailbox::pop_match_any(std::span<const std::pair<int, int>> patterns,
   };
   cv_.wait(lock, [&] {
     found = scan();
-    return found || aborted.load(std::memory_order_acquire);
+    return found || aborted.load(std::memory_order_acquire) ||
+           (also_aborted && also_aborted->load(std::memory_order_acquire));
   });
   if (!found) throw ClusterAborted();
   return out;
 }
 
 void Mailbox::interrupt() { cv_.notify_all(); }
+
+std::size_t Mailbox::purge_tag_range(int lo, int hi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = queue_.size();
+  std::erase_if(queue_,
+                [&](const Message& m) { return m.tag >= lo && m.tag < hi; });
+  return before - queue_.size();
+}
 
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <span>
 #include <utility>
@@ -24,29 +25,47 @@ class Mailbox {
   void push(Message msg);
 
   /// Blocks until a message matching (src, tag) is available and removes it.
-  /// kAnySource / kAnyTag act as wildcards. Throws ClusterAborted if the
-  /// cluster's abort flag is raised while waiting.
-  Message pop_match(int src, int tag, const std::atomic<bool>& aborted);
+  /// kAnySource / kAnyTag act as wildcards; a kAnyTag pattern only matches
+  /// messages whose tag falls in [wild_lo, wild_hi) — the window a job Comm
+  /// restricts to its leased band so one job's wildcard receive cannot
+  /// steal another job's traffic. Throws ClusterAborted if the cluster's
+  /// abort flag — or the optional per-job `also_aborted` flag — is raised
+  /// while waiting.
+  Message pop_match(int src, int tag, const std::atomic<bool>& aborted,
+                    int wild_lo = 0,
+                    int wild_hi = std::numeric_limits<int>::max(),
+                    const std::atomic<bool>* also_aborted = nullptr);
 
   /// Non-blocking variant; returns false if no matching message is queued.
-  bool try_pop_match(int src, int tag, Message& out);
+  bool try_pop_match(int src, int tag, Message& out, int wild_lo = 0,
+                     int wild_hi = std::numeric_limits<int>::max());
 
   /// Blocks until a message matching *any* of the (src, tag) patterns is
   /// available; removes and returns it, setting `which` to the index of
   /// the pattern that matched (the backing of wait_any over posted
-  /// receives). Wildcards and abort semantics as in pop_match. When
-  /// several patterns could match queued messages, the earliest queued
-  /// message wins, preserving per-(src, tag) FIFO delivery.
+  /// receives). Wildcards, the wildcard window, and abort semantics as in
+  /// pop_match. When several patterns could match queued messages, the
+  /// earliest queued message wins, preserving per-(src, tag) FIFO delivery.
   Message pop_match_any(std::span<const std::pair<int, int>> patterns,
-                        const std::atomic<bool>& aborted, std::size_t& which);
+                        const std::atomic<bool>& aborted, std::size_t& which,
+                        int wild_lo = 0,
+                        int wild_hi = std::numeric_limits<int>::max(),
+                        const std::atomic<bool>* also_aborted = nullptr);
 
-  /// Wakes all blocked receivers (used on abort).
+  /// Wakes all blocked receivers (used on abort and on per-job aborts —
+  /// waiters re-check their own abort flags and go back to sleep if the
+  /// wake was not for them).
   void interrupt();
+
+  /// Drops every queued message whose tag is in [lo, hi) and returns how
+  /// many were dropped. The service layer purges a job's leased band after
+  /// the job completes (or aborts) so a reclaimed band starts empty.
+  std::size_t purge_tag_range(int lo, int hi);
 
   std::size_t size() const;
 
  private:
-  bool match_locked(int src, int tag, Message& out);
+  bool match_locked(int src, int tag, Message& out, int wild_lo, int wild_hi);
 
   const std::size_t max_message_bytes_;
   mutable std::mutex mu_;

@@ -39,10 +39,11 @@ struct SliceFetchRequest {
 /// Registers the fetch-answering service on `comm` (idempotent). Any rank
 /// that encodes resident slices must install this before its first
 /// residency-aware send: receivers may fetch at any later blocking receive.
+/// The installed-flag is per Comm (not per Residency): under the service
+/// layer many job Comms share one Residency, and each job's root must
+/// answer fetches on its own leased tag band.
 inline void install_residency_fetch_service(Comm& comm) {
-  auto& res = comm.residency();
-  if (res.fetch_service_installed) return;
-  res.fetch_service_installed = true;
+  if (comm.has_service(kTagResidentFetch)) return;
   comm.set_service(kTagResidentFetch, [&comm](Message& m) {
     const auto req = serial::from_bytes<SliceFetchRequest>(m.payload);
     comm.send_bytes(m.src, kTagResidentData,
@@ -55,26 +56,33 @@ inline void install_residency_fetch_service(Comm& comm) {
 class ResidencyEncodeScope final : public serial::ResidencyEncoder {
  public:
   ResidencyEncodeScope(Comm& comm, int dst)
-      : model_(&comm.residency().model_for(dst)),
+      : res_(&comm.residency()),
+        dst_(dst),
         stats_(&comm.residency_stats()) {}
 
   std::optional<std::uint64_t> try_token(
       const serial::SliceKey& key,
       std::span<const std::byte> payload) override {
-    if (const auto* e = model_->lookup(key); e && e->len == payload.size()) {
+    // Model lookup/update under the Residency lock: concurrent jobs share
+    // the per-rank Residency under the service layer. Stats stay per-Comm
+    // (each Comm belongs to one rank thread), so they need no lock here.
+    std::lock_guard<std::mutex> lock(res_->mu);
+    SliceCache& model = res_->model_for(dst_);
+    if (const auto* e = model.lookup(key); e && e->len == payload.size()) {
       stats_->tokens_sent += 1;
       stats_->bytes_avoided += static_cast<std::int64_t>(payload.size());
       return e->checksum;
     }
     const std::uint64_t ck = serial::checksum(payload);
-    model_->insert_meta(key, payload.size(), ck);
+    model.insert_meta(key, payload.size(), ck);
     stats_->slices_inlined += 1;
     stats_->bytes_inlined += static_cast<std::int64_t>(payload.size());
     return std::nullopt;
   }
 
  private:
-  SliceCache* model_;
+  Residency* res_;
+  int dst_;
   ResidencyStats* stats_;
   serial::ScopedResidencyEncoder install_{this};  // last: members ready first
 };
@@ -85,43 +93,51 @@ class ResidencyDecodeScope final : public serial::ResidencyDecoder {
  public:
   explicit ResidencyDecodeScope(Comm& comm, int owner = 0)
       : comm_(&comm),
-        cache_(&comm.residency().cache),
+        res_(&comm.residency()),
         stats_(&comm.residency_stats()),
         owner_(owner) {}
 
   void resolve(const serial::SliceKey& key, std::uint64_t checksum,
                std::span<std::byte> out) override {
-    if (const auto* e = cache_->lookup(key)) {
-      if (!e->bytes.empty() && e->len == out.size() &&
-          serial::checksum(e->bytes) == checksum) {
-        stats_->cache_hits += 1;
-        std::memcpy(out.data(), e->bytes.data(), out.size());
-        return;
+    {
+      // Cache probe under the Residency lock (shared across jobs under the
+      // service layer) — released before the fetch round trip below, so a
+      // blocked fetch never holds the rank's other jobs off their cache.
+      std::lock_guard<std::mutex> lock(res_->mu);
+      if (const auto* e = res_->cache.lookup(key)) {
+        if (!e->bytes.empty() && e->len == out.size() &&
+            serial::checksum(e->bytes) == checksum) {
+          stats_->cache_hits += 1;
+          std::memcpy(out.data(), e->bytes.data(), out.size());
+          return;
+        }
+        // Cached but wrong (corruption, or a model-mode entry with no
+        // bytes): drop it and repair through the fetch path.
+        stats_->checksum_failures += 1;
+        res_->cache.erase(key);
+      } else {
+        stats_->cache_misses += 1;
       }
-      // Cached but wrong (corruption, or a model-mode entry with no bytes):
-      // drop it and repair through the fetch path.
-      stats_->checksum_failures += 1;
-      cache_->erase(key);
-    } else {
-      stats_->cache_misses += 1;
+      stats_->fetches += 1;
     }
-    stats_->fetches += 1;
     comm_->send(owner_, kTagResidentFetch, SliceFetchRequest{key});
     Message m = comm_->recv_message(owner_, kTagResidentData);
     TRIOLET_CHECK(m.payload.size() == out.size(),
                   "resident fetch returned wrong slice size");
     std::memcpy(out.data(), m.payload.data(), out.size());
-    cache_->insert(key, m.payload);
+    std::lock_guard<std::mutex> lock(res_->mu);
+    res_->cache.insert(key, m.payload);
   }
 
   void store(const serial::SliceKey& key,
              std::span<const std::byte> payload) override {
-    cache_->insert(key, payload);
+    std::lock_guard<std::mutex> lock(res_->mu);
+    res_->cache.insert(key, payload);
   }
 
  private:
   Comm* comm_;
-  SliceCache* cache_;
+  Residency* res_;
   ResidencyStats* stats_;
   int owner_;
   serial::ScopedResidencyDecoder install_{this};  // last: members ready first

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -143,14 +144,29 @@ class SliceCache {
 
 /// The per-rank residency state hung off a Comm: this rank's receive-side
 /// cache plus one deterministic model per destination it scatters to.
+///
+/// Under the service layer (src/svc/) one Residency per rank is shared by
+/// every concurrent job on that rank, so cached slices survive across jobs
+/// — the rescatter-avoidance win of a resident service. All access then
+/// goes through `mu` (the encode/decode scopes in net/residency.hpp take
+/// it). Isolation across jobs needs no extra keying: every SliceKey embeds
+/// a process-unique source id + version (dist/dist_array.hpp), so two jobs
+/// collide only when they deliberately share one DistArray — in which case
+/// sharing the cached bytes is exactly the point. Concurrent jobs encoding
+/// to one destination can interleave their model updates in an order that
+/// differs from the receiver's insert order; any divergence that causes is
+/// caught by checksum validation at decode time and repaired through the
+/// fetch fallback, never trusted.
 struct Residency {
   Residency(std::size_t budget, ResidencyStats* stats)
       : budget(budget), cache(budget, stats) {}
 
   std::size_t budget;
+  /// Guards cache + peer_models when the Residency is shared across jobs.
+  /// Single-job Comms take it too (uncontended — cheap) for one code path.
+  std::mutex mu;
   SliceCache cache;
   std::unordered_map<int, SliceCache> peer_models;
-  bool fetch_service_installed = false;
 
   SliceCache& model_for(int dst) {
     auto it = peer_models.find(dst);

@@ -267,6 +267,17 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
     const index_t u1 = std::min(b * grain, extent);
     return it.slice(core::outer_slice(dom, u0, u1));
   };
+  // Outer-domain items atoms [a, b) cover (the fair-share currency).
+  auto units_of = [&](index_t a, index_t b) {
+    return std::min(b * grain, extent) - std::min(a * grain, extent);
+  };
+  // Fair-share gate (SchedOptions::gate): called before every grant and
+  // every root self-issue, root thread only. Under the service layer this
+  // blocks until the job's deficit-round-robin turn, so a large job's grant
+  // stream cannot starve concurrent small jobs.
+  auto gate_items = [&](index_t a, index_t b) {
+    if (opts.gate) opts.gate->before_grant(units_of(a, b));
+  };
 
   // Grant transport. Non-resident path: plain isend (serialize + deliver on
   // the progress engine). Resident path: serialize eagerly on this thread
@@ -295,6 +306,7 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
     for (int r = 1; r < p; ++r) {
       const index_t a = natoms * r / p;
       const index_t b = natoms * (r + 1) / p;
+      gate_items(a, b);
       // Delivery of the pushed grants runs on the progress engine while the
       // root executes its own block below.
       send_grant(r, Grant<It>{0, a, b - a, grain, slice_run(a, b)});
@@ -303,6 +315,7 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
       sched.control_bytes += kGrantHeaderBytes;
     }
     const index_t b0 = natoms * 1 / p;
+    gate_items(0, b0);
     detail::execute_run(comm, slice_run(0, b0), 0, b0, grain, on_chunk);
     return;
   }
@@ -321,6 +334,7 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
       const index_t n = opts.policy == SchedulePolicy::kDynamic
                             ? 1
                             : std::min(remaining, guided_run_atoms(remaining, p));
+      gate_items(next, next + n);
       // Grants leave through the progress engine: the root can resume its
       // own atom (or serve the next request) while the grant delivers
       // off-thread.
@@ -353,6 +367,7 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
           if (!stream->help()) std::this_thread::yield();
           continue;
         }
+        gate_items(next, next + 1);
         detail::stream_run(
             comm, *stream,
             Grant<It>{0, next, 1, grain, slice_run(next, next + 1)},
@@ -360,6 +375,7 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
         next += 1;
       } else {
         // No demand right now: run one atom locally, then poll again.
+        gate_items(next, next + 1);
         detail::execute_run(comm, slice_run(next, next + 1), next, 1, grain,
                             on_chunk);
         next += 1;

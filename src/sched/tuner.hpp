@@ -81,7 +81,12 @@ class AutoTuner;
 /// The implicit registry run_chunks keeps in Comm::sched_state() when
 /// SchedOptions::tuner is null: one AutoTuner per tune_key, living as long
 /// as the Comm, so iterative jobs accumulate rounds with zero caller state.
+/// `mu` guards the map itself: under the service layer several batched jobs
+/// can share one Comm, and a Comm's streamed pool tasks may race the rank
+/// thread on first-touch creation. Entries are stable (std::map), so the
+/// returned references stay valid without holding the lock.
 struct TunerRegistry {
+  std::mutex mu;
   std::map<std::uint64_t, AutoTuner> jobs;
 };
 
@@ -155,7 +160,16 @@ inline AutoTuner& tuner_for(net::Comm& comm, const SchedOptions& opts) {
   if (opts.tuner != nullptr) return *opts.tuner;
   auto& slot = comm.sched_state();
   if (!slot) slot = std::make_shared<TunerRegistry>();
-  return static_cast<TunerRegistry*>(slot.get())->jobs[opts.tune_key];
+  auto* reg = static_cast<TunerRegistry*>(slot.get());
+  // Fold the Comm's job identity (its tag-lease base; 0 outside the service
+  // layer) into the registry key so two service jobs that happen to share a
+  // Comm and a tune_key (e.g. both defaulted to 0) still get separate
+  // tuners — one job's measurements must never steer another's picks. The
+  // fold is a pure function of SPMD-uniform state, so all ranks agree.
+  const std::uint64_t key =
+      opts.tune_key ^ (comm.job_key() * 0x9E3779B97F4A7C15ull);
+  std::lock_guard<std::mutex> lock(reg->mu);
+  return reg->jobs[key];
 }
 
 }  // namespace detail

@@ -1,0 +1,80 @@
+#include "svc/band_allocator.hpp"
+
+#include "support/macros.hpp"
+
+namespace triolet::svc {
+
+BandAllocator::BandAllocator(int capacity) {
+  TRIOLET_CHECK(capacity >= 1 && capacity <= net::kMaxJobBands,
+                "band allocator capacity outside the job-band region");
+  used_.assign(static_cast<std::size_t>(capacity), false);
+}
+
+bool BandAllocator::candidate_disjoint(int slot, std::string* why) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return candidate_disjoint_locked(slot, why);
+}
+
+bool BandAllocator::candidate_disjoint_locked(int slot,
+                                              std::string* why) const {
+  // Compose the static table, every active lease, and the candidate, then
+  // run the same pairwise audit Cluster startup runs on the static table.
+  std::vector<net::TagBand> bands(net::reserved_tag_bands().begin(),
+                                  net::reserved_tag_bands().end());
+  for (std::size_t s = 0; s < used_.size(); ++s) {
+    if (!used_[s] && static_cast<int>(s) != slot) continue;
+    const int base = net::job_band_base(static_cast<int>(s));
+    bands.push_back(net::TagBand{static_cast<int>(s) == slot ? "candidate-lease"
+                                                             : "active-lease",
+                                 base, base + net::kJobBandWidth});
+  }
+  return net::tag_bands_disjoint(bands, why);
+}
+
+bool BandAllocator::try_lease(net::TagMap& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t s = 0; s < used_.size(); ++s) {
+    if (used_[s]) continue;
+    std::string why;
+    TRIOLET_CHECK(candidate_disjoint_locked(static_cast<int>(s), &why),
+                  why.c_str());
+    used_[s] = true;
+    leased_ += 1;
+    out = net::TagMap{net::job_band_base(static_cast<int>(s))};
+    return true;
+  }
+  return false;
+}
+
+net::TagMap BandAllocator::lease() {
+  net::TagMap band;
+  if (!try_lease(band)) {
+    throw BandsExhausted(static_cast<int>(used_.size()));
+  }
+  return band;
+}
+
+void BandAllocator::reclaim(const net::TagMap& band) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TRIOLET_CHECK(band.base >= net::kJobBandRegion &&
+                    (band.base - net::kJobBandRegion) % net::kJobBandWidth == 0,
+                "reclaim of a tag map this allocator never leased");
+  const auto slot = static_cast<std::size_t>(
+      (band.base - net::kJobBandRegion) / net::kJobBandWidth);
+  TRIOLET_CHECK(slot < used_.size() && used_[slot],
+                "reclaim of a band that is not currently leased");
+  used_[slot] = false;
+  leased_ -= 1;
+}
+
+int BandAllocator::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(used_.size());
+}
+
+int BandAllocator::leased() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leased_;
+}
+
+}  // namespace triolet::svc
