@@ -1,0 +1,128 @@
+// Iterative sparse matvec on a resident segmented source.
+//
+// A power-law CSR matrix — a few hub rows holding most of the nonzeros —
+// is wrapped in a SegmentedDistArray once, outside the round loop. Each
+// round computes a scalar surrogate of y = A x through dist::transform
+// over the segments and a kOrdered reduction. The matrix ships on the
+// cold round and tokenizes afterwards: the per-round residency deltas
+// printed below show warm rounds moving 8-byte tokens while
+// view_bytes_avoided accounts for the nonzeros that did NOT cross the
+// wire. Policies agree bitwise because kOrdered folds per-atom partials
+// in atom order regardless of which rank computed them.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/triolet.hpp"
+#include "dist/segmented.hpp"
+#include "dist/skeletons.hpp"
+#include "dist/views.hpp"
+#include "net/cluster.hpp"
+
+using namespace triolet;
+using core::index_t;
+
+int main() {
+  const index_t nrows = 2048, ncols = 256;
+  const int rounds = 4, ranks = 4;
+
+  // CSR with (col, val) pairs interleaved in one values leaf; hub rows
+  // (the first nrows/64, sorted-degree layout) carry half the columns.
+  std::vector<index_t> offsets{0};
+  std::vector<double> packed;
+  const index_t hubs = nrows / 64;
+  for (index_t r = 0; r < nrows; ++r) {
+    const index_t len = r < hubs ? ncols / 2 : 2 + r % 6;
+    for (index_t k = 0; k < len; ++k) {
+      packed.push_back(static_cast<double>((r * 31 + k * 17) % ncols));
+      packed.push_back(std::sin(0.7 * static_cast<double>(r + k)));
+    }
+    offsets.push_back(static_cast<index_t>(packed.size()));
+  }
+  std::vector<double> x(static_cast<std::size_t>(ncols));
+  for (index_t c = 0; c < ncols; ++c) {
+    x[static_cast<std::size_t>(c)] = std::sin(0.01 * static_cast<double>(c));
+  }
+
+  // Sequential reference for a sanity band (not bitwise: the distributed
+  // fold groups by atom, the loop below by row).
+  double ref = 0.0;
+  for (index_t r = 0; r < nrows; ++r) {
+    double dot = 0.0;
+    for (index_t o = offsets[static_cast<std::size_t>(r)] / 2;
+         o < offsets[static_cast<std::size_t>(r) + 1] / 2; ++o) {
+      dot += packed[static_cast<std::size_t>(2 * o + 1)] *
+             x[static_cast<std::size_t>(packed[static_cast<std::size_t>(
+                 2 * o)])];
+    }
+    ref += dot;
+  }
+
+  const sched::SchedulePolicy policies[] = {sched::SchedulePolicy::kStatic,
+                                            sched::SchedulePolicy::kDynamic};
+  double results[2] = {};
+  for (int p = 0; p < 2; ++p) {
+    dist::SegmentedDistArray<double> a(offsets, packed);
+    sched::SchedOptions opts;
+    opts.policy = policies[p];
+    opts.combine = sched::CombineMode::kOrdered;
+    opts.grain = 4;
+    opts.tune_key = a.tune_key();
+    auto res = net::Cluster::run(ranks, [&](net::Comm& comm) {
+      dist::NodeRuntime node(1);
+      auto spmv = [&] {
+        return dist::transform(
+            dist::from_segmented(a), [&x](const dist::Segment<double>& s) {
+              double dot = 0.0;
+              const auto nnz = static_cast<std::size_t>(s.size()) / 2;
+              for (std::size_t k = 0; k < nnz; ++k) {
+                dot += s[2 * k + 1] * x[static_cast<std::size_t>(s[2 * k])];
+              }
+              return dot;
+            });
+      };
+      double y = 0.0;
+      for (int r = 0; r < rounds; ++r) {
+        const net::CommStats before = comm.snapshot_stats();
+        y = dist::sum(comm, spmv, opts);
+        const net::CommStats delta = comm.snapshot_stats() - before;
+        if (comm.rank() == 0) {
+          // Rank 0 encodes the grants, so its delta carries the view
+          // counters for the whole round.
+          std::printf("  %-8s round %d: sum(Ax) = %.9f  "
+                      "(%lld view tokens, %lld bytes avoided)\n",
+                      sched::to_string(policies[p]), r, y,
+                      static_cast<long long>(delta.views.view_tokens),
+                      static_cast<long long>(
+                          delta.views.view_bytes_avoided));
+        }
+      }
+      if (comm.rank() == 0) results[p] = y;
+    });
+    if (!res.ok) {
+      std::fprintf(stderr, "cluster failed: %s\n", res.error.c_str());
+      return 1;
+    }
+    // Warm rounds must have tokenized the resident leaves: the avoided
+    // bytes dwarf what actually moved after round 0.
+    if (res.total_stats.views.view_bytes_avoided <= 0 ||
+        res.total_stats.residency.fetches != 0) {
+      std::fprintf(stderr, "residency path did not tokenize\n");
+      return 1;
+    }
+  }
+
+  if (std::memcmp(&results[0], &results[1], sizeof(double)) != 0) {
+    std::fprintf(stderr, "policy results diverged\n");
+    return 1;
+  }
+  if (std::abs(results[0] - ref) > 1e-9 * std::abs(ref)) {
+    std::fprintf(stderr, "result off the sequential reference\n");
+    return 1;
+  }
+  std::printf("static and dynamic agree bitwise; warm rounds ran on "
+              "tokens, not nonzeros\n");
+  return 0;
+}

@@ -48,6 +48,9 @@ struct Indexer {
   }
 
   static index_t index_at(Seq d, index_t ord) { return d.lo + ord; }
+  static index_t index_at(const SegSeq& d, index_t ord) {
+    return d.seg_lo() + ord;
+  }
   static Index2 index_at(Dim2 d, index_t ord) {
     return Index2{d.y0 + ord / d.cols(), d.x0 + ord % d.cols()};
   }

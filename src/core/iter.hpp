@@ -143,6 +143,21 @@ template <typename It>
 inline constexpr bool iter_uses_residency_v =
     iter_uses_residency<std::remove_cvref_t<It>>::value;
 
+/// True when the iterator is a *fused view*: its source graph composes two
+/// or more resident leaves (zip-of-resident, map over zip, segmented
+/// offsets+values, ...). Senders charge the token substitutions of such
+/// payloads to net::ViewStats — the bytes a materialized intermediate
+/// would have shipped.
+template <typename It, typename = void>
+struct iter_is_fused_view : std::false_type {};
+template <typename It>
+struct iter_is_fused_view<It, std::void_t<typename It::Ix::Source>>
+    : std::bool_constant<(resident_leaf_count<typename It::Ix::Source>::value >=
+                          2)> {};
+template <typename It>
+inline constexpr bool iter_is_fused_view_v =
+    iter_is_fused_view<std::remove_cvref_t<It>>::value;
+
 // -- parallelism hints (par / localpar, §3.4) -------------------------------------
 
 template <typename It>

@@ -152,6 +152,34 @@ struct source_uses_residency<OuterSource<SA, SB>>
     : std::bool_constant<source_uses_residency<SA>::value ||
                          source_uses_residency<SB>::value> {};
 
+/// Compile-time: how many *resident leaves* the source graph contains. A
+/// count >= 2 identifies a fused distributed view — a composite (zip /
+/// slice / transform / segmented) whose leaves each carry their own
+/// (id, version, range) identity and tokenize independently. Senders use
+/// this to charge token substitutions to the view counters
+/// (net::ViewStats) on top of the ordinary residency stats; a bare single
+/// resident array stays plain-residency only. dist/ specializes the leaf
+/// counts (ResidentSource = 1, SegmentedSource = 2).
+template <typename S>
+struct resident_leaf_count
+    : std::integral_constant<int, source_uses_residency<S>::value ? 1 : 0> {};
+
+template <typename SA, typename SB>
+struct resident_leaf_count<std::pair<SA, SB>>
+    : std::integral_constant<int, resident_leaf_count<SA>::value +
+                                      resident_leaf_count<SB>::value> {};
+
+template <typename SA, typename SB, typename SC>
+struct resident_leaf_count<Zip3Source<SA, SB, SC>>
+    : std::integral_constant<int, resident_leaf_count<SA>::value +
+                                      resident_leaf_count<SB>::value +
+                                      resident_leaf_count<SC>::value> {};
+
+template <typename SA, typename SB>
+struct resident_leaf_count<OuterSource<SA, SB>>
+    : std::integral_constant<int, resident_leaf_count<SA>::value +
+                                      resident_leaf_count<SB>::value> {};
+
 }  // namespace triolet::core
 
 namespace triolet::serial {

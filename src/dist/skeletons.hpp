@@ -83,7 +83,9 @@ auto scatter_chunks(net::Comm& comm, MakeIter&& make) {
               it.slice(chunks[static_cast<std::size_t>(r)]));
           serial::SegmentedBytes sg;
           {
-            net::ResidencyEncodeScope scope(comm, r);
+            net::ResidencyEncodeScope scope(
+                comm, r,
+                core::iter_is_fused_view_v<It> ? &comm.view_stats() : nullptr);
             sg = serial::to_segments(*slice);
           }
           (void)comm.isend_segments(r, kTagTask, std::move(sg),

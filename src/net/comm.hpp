@@ -203,6 +203,49 @@ inline NodePoolStats operator-(NodePoolStats a, const NodePoolStats& b) {
   return a;
 }
 
+/// Fused-view and halo-exchange attribution (src/dist/ views + stencils).
+/// view_* counts leaf-slice payloads a *composite* resident source (zip /
+/// slice / transform over resident leaves, or a segmented source) replaced
+/// with residency tokens — the bytes a materializing pipeline would have
+/// shipped per round. halo_* counts ghost-cell traffic of
+/// dist::halo_exchange, and halo_overlap_seconds is interior compute that
+/// ran while neighbor exchanges were in flight.
+struct ViewStats {
+  std::int64_t view_tokens = 0;         // leaf slices shipped as tokens
+  std::int64_t view_bytes_avoided = 0;  // payload bytes those tokens replaced
+  std::int64_t halo_exchanges = 0;      // halo_exchange rounds on this rank
+  std::int64_t halo_messages = 0;       // boundary messages sent
+  std::int64_t halo_bytes = 0;          // boundary payload bytes sent
+  std::int64_t ghost_cells = 0;         // ghost cells received
+  double halo_overlap_seconds = 0.0;    // interior compute under exchange
+
+  ViewStats& operator+=(const ViewStats& o) {
+    view_tokens += o.view_tokens;
+    view_bytes_avoided += o.view_bytes_avoided;
+    halo_exchanges += o.halo_exchanges;
+    halo_messages += o.halo_messages;
+    halo_bytes += o.halo_bytes;
+    ghost_cells += o.ghost_cells;
+    halo_overlap_seconds += o.halo_overlap_seconds;
+    return *this;
+  }
+  ViewStats& operator-=(const ViewStats& o) {
+    view_tokens -= o.view_tokens;
+    view_bytes_avoided -= o.view_bytes_avoided;
+    halo_exchanges -= o.halo_exchanges;
+    halo_messages -= o.halo_messages;
+    halo_bytes -= o.halo_bytes;
+    ghost_cells -= o.ghost_cells;
+    halo_overlap_seconds -= o.halo_overlap_seconds;
+    return *this;
+  }
+};
+
+inline ViewStats operator-(ViewStats a, const ViewStats& b) {
+  a -= b;
+  return a;
+}
+
 struct CommStats {
   std::int64_t messages_sent = 0;
   std::int64_t bytes_sent = 0;
@@ -231,6 +274,9 @@ struct CommStats {
   /// bytes_avoided, cache hits/misses/evictions (net/slice_cache.hpp).
   ResidencyStats residency{};
 
+  /// Fused distributed views and halo-exchange attribution.
+  ViewStats views{};
+
   const CollectiveStats& collective(Collective c) const {
     return collectives[static_cast<std::size_t>(c)];
   }
@@ -248,6 +294,7 @@ struct CommStats {
     sched += o.sched;
     pool += o.pool;
     residency += o.residency;
+    views += o.views;
     return *this;
   }
   /// Delta subtraction: `after - before` of two Comm::snapshot_stats()
@@ -267,6 +314,7 @@ struct CommStats {
     sched -= o.sched;
     pool -= o.pool;
     residency -= o.residency;
+    views -= o.views;
     return *this;
   }
 };
@@ -292,9 +340,13 @@ TRIOLET_SERIALIZE_FIELDS(ResidencyStats, tokens_sent, bytes_avoided,
                          slices_inlined, bytes_inlined, cache_hits,
                          cache_misses, checksum_failures, fetches, evictions,
                          bytes_inserted)
+TRIOLET_SERIALIZE_FIELDS(ViewStats, view_tokens, view_bytes_avoided,
+                         halo_exchanges, halo_messages, halo_bytes,
+                         ghost_cells, halo_overlap_seconds)
 TRIOLET_SERIALIZE_FIELDS(CommStats, messages_sent, bytes_sent,
                          messages_received, bytes_received, bytes_zero_copy,
-                         bytes_copied, collectives, sched, pool, residency)
+                         bytes_copied, collectives, sched, pool, residency,
+                         views)
 
 /// Shared state of one in-process cluster (owned by Cluster, referenced by
 /// every Comm).
@@ -719,6 +771,9 @@ class Comm {
 
   /// Mutable intra-node pool counters (rank-thread only, like sched_stats).
   NodePoolStats& pool_stats() { return stats_.pool; }
+
+  /// Mutable view/halo counters (rank-thread only, like sched_stats).
+  ViewStats& view_stats() { return stats_.views; }
 
   /// Claims the next scheduler epoch for a run_chunks invocation. run_chunks
   /// is collective, so every rank claims the same sequence of epochs and

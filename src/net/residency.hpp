@@ -52,13 +52,18 @@ inline void install_residency_fetch_service(Comm& comm) {
 }
 
 /// Installs this scope as the thread's residency encoder for the duration
-/// of one serialization aimed at `dst`.
+/// of one serialization aimed at `dst`. When the payload being serialized
+/// is a *fused view* (a composite of resident leaves — zip/slice/transform
+/// compositions or a segmented source), the sender passes `views` so token
+/// substitutions are additionally charged to CommStats::views: those are
+/// the intermediate bytes a materializing pipeline would have shipped.
 class ResidencyEncodeScope final : public serial::ResidencyEncoder {
  public:
-  ResidencyEncodeScope(Comm& comm, int dst)
+  ResidencyEncodeScope(Comm& comm, int dst, ViewStats* views = nullptr)
       : res_(&comm.residency()),
         dst_(dst),
-        stats_(&comm.residency_stats()) {}
+        stats_(&comm.residency_stats()),
+        views_(views) {}
 
   std::optional<std::uint64_t> try_token(
       const serial::SliceKey& key,
@@ -71,6 +76,10 @@ class ResidencyEncodeScope final : public serial::ResidencyEncoder {
     if (const auto* e = model.lookup(key); e && e->len == payload.size()) {
       stats_->tokens_sent += 1;
       stats_->bytes_avoided += static_cast<std::int64_t>(payload.size());
+      if (views_ != nullptr) {
+        views_->view_tokens += 1;
+        views_->view_bytes_avoided += static_cast<std::int64_t>(payload.size());
+      }
       return e->checksum;
     }
     const std::uint64_t ck = serial::checksum(payload);
@@ -84,6 +93,7 @@ class ResidencyEncodeScope final : public serial::ResidencyEncoder {
   Residency* res_;
   int dst_;
   ResidencyStats* stats_;
+  ViewStats* views_;
   serial::ScopedResidencyEncoder install_{this};  // last: members ready first
 };
 

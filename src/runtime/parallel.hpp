@@ -97,8 +97,10 @@ struct RangeTask {
 }  // namespace detail
 
 /// Runs body(lo, hi) over subranges of [lo, hi) in parallel on `pool`.
-/// `body` must be safe to run concurrently on disjoint ranges. Subranges
-/// have at least min(grain, hi-lo) elements and are never empty.
+/// `body` must be safe to run concurrently on disjoint ranges. Chunks are
+/// never empty and never exceed `grain`; forked subranges stay >= grain
+/// (both halves of a split clear the floor), but the last chunk of a
+/// subrange is its tail and may be shorter than the grain.
 template <typename Body>
 void parallel_for(ThreadPool& pool, index_t lo, index_t hi, index_t grain,
                   const Body& body) {

@@ -129,14 +129,20 @@ inline const char* to_string(SchedulePolicy p) {
 }
 
 /// Resolves the atom grain for a domain of `extent` outer units on `ranks`
-/// nodes. Must depend only on (extent, ranks, requested) — never on the
-/// policy — so all policies chunk identically (the kOrdered invariant).
-/// The default is the shared two-level heuristic (core::auto_grain_for):
-/// ~8 atoms per rank, the same rule runtime::auto_grain applies per thread.
-inline index_t resolve_grain(index_t extent, int ranks, index_t requested) {
+/// nodes. Must depend only on (extent, ranks, requested, cost_cv) — never
+/// on the policy — so all policies chunk identically (the kOrdered
+/// invariant). `cost_cv` is the domain's per-unit cost-variance hint
+/// (core::outer_cost_cv): 0 for dense domains, which keeps the default —
+/// the shared two-level heuristic core::auto_grain_for, ~8 atoms per rank —
+/// bit-for-bit unchanged; segmented domains report their value-weight skew
+/// and get proportionally finer atoms. The hint is itself a pure function
+/// of the domain, so it preserves the policy- and rank-independence of the
+/// decomposition.
+inline index_t resolve_grain(index_t extent, int ranks, index_t requested,
+                             double cost_cv = 0.0) {
   TRIOLET_CHECK(requested >= 0, "grain must be non-negative");
   if (requested > 0) return requested;
-  return core::auto_grain_for(extent, ranks);
+  return core::auto_grain_for(extent, ranks, cost_cv);
 }
 
 /// Wire size of a Grant minus its task payload (done + three index_t

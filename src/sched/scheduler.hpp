@@ -257,7 +257,11 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
   It it = make();
   const auto dom = it.domain();
   const index_t extent = core::outer_extent(dom);
-  const index_t grain = resolve_grain(extent, p, opts.grain);
+  // The cost-variance hint is a pure function of the domain (per-unit value
+  // weights for segmented sources, 0 for dense ones), so the resolved grain
+  // — and with it the kOrdered atom decomposition — stays policy-independent.
+  const index_t grain =
+      resolve_grain(extent, p, opts.grain, core::outer_cost_cv(dom));
   const index_t natoms = atom_count(extent, grain);
 
   // Atoms [a, b) as a sliced sub-iterator (contiguous outer units, last
@@ -290,7 +294,9 @@ void run_chunks_concrete(net::Comm& comm, MakeIter&& make,
       auto grant = std::make_shared<Grant<It>>(std::move(g));
       serial::SegmentedBytes sg;
       {
-        net::ResidencyEncodeScope scope(comm, r);
+        net::ResidencyEncodeScope scope(
+            comm, r,
+            core::iter_is_fused_view_v<It> ? &comm.view_stats() : nullptr);
         sg = serial::to_segments(*grant);
       }
       (void)comm.isend_segments(r, tag_grant, std::move(sg),
@@ -427,12 +433,14 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
     const SchedOptions round_opts = tuner.begin_round(opts);
     const net::CommStats before = comm.snapshot_stats();
     index_t root_extent = -1;
+    double root_cost_cv = 0.0;
     Stopwatch wall;
     detail::run_chunks_concrete(
         comm,
         [&] {
           auto it = make();
           root_extent = core::outer_extent(it.domain());
+          root_cost_cv = core::outer_cost_cv(it.domain());
           return it;
         },
         round_opts,
@@ -443,7 +451,7 @@ void run_chunks(net::Comm& comm, MakeIter&& make, const SchedOptions& opts,
                            sw.seconds());
         });
     tuner.finish_round(comm, wall.seconds(), comm.snapshot_stats() - before,
-                       root_extent);
+                       root_extent, root_cost_cv);
     return;
   }
   detail::run_chunks_concrete(comm, make, opts, on_chunk);

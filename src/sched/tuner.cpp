@@ -17,13 +17,14 @@ struct RoundSample {
   std::vector<RunSample> runs;
   double wall_seconds = 0.0;
   std::int64_t extent = -1;
+  double domain_cv = 0.0;  // root's core::outer_cost_cv (valid with extent)
   net::CommStats delta{};
 };
 
 template <typename F>
 void triolet_visit_fields(RoundSample& obj, F&& f) {
-  auto& [runs, wall_seconds, extent, delta] = obj;
-  f(runs, wall_seconds, extent, delta);
+  auto& [runs, wall_seconds, extent, domain_cv, delta] = obj;
+  f(runs, wall_seconds, extent, domain_cv, delta);
 }
 
 /// Re-aggregates measured per-run durations into per-atom durations at an
@@ -160,8 +161,18 @@ void AutoTuner::record_run(index_t atom_lo, index_t grain, index_t units,
 }
 
 void AutoTuner::finish_round(net::Comm& comm, double wall_seconds,
-                             const net::CommStats& delta,
-                             index_t root_extent) {
+                             const net::CommStats& delta, index_t root_extent,
+                             double root_cost_cv) {
+  // Committed: the audit verdict stands and there is no decision left to
+  // make, so the round finishes without the allgather or the refit — the
+  // steady state pays none of the tuner's collective overhead. mode_ moves
+  // in lockstep on every rank (it is a pure function of allgathered data),
+  // so skipping the collective here is globally consistent.
+  if (mode_ == PickMode::kCommitted) {
+    rounds_ += 1;
+    measured_ = wall_seconds;  // rank-local; informational only
+    return;
+  }
   RoundSample mine;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -170,6 +181,7 @@ void AutoTuner::finish_round(net::Comm& comm, double wall_seconds,
   }
   mine.wall_seconds = wall_seconds;
   mine.extent = root_extent;
+  mine.domain_cv = root_cost_cv;
   mine.delta = delta;
 
   // Every rank receives the identical sample set (allgather is indexed by
@@ -180,17 +192,48 @@ void AutoTuner::finish_round(net::Comm& comm, double wall_seconds,
   net::CommStats sum{};
   double max_wall = 0.0;
   index_t extent = -1;
+  double domain_cv = 0.0;
   std::vector<RunSample> runs;
   for (auto& s : all) {
     sum += s.delta;
     max_wall = std::max(max_wall, s.wall_seconds);
-    if (s.extent >= 0) extent = s.extent;
+    if (s.extent >= 0) {
+      extent = s.extent;
+      domain_cv = s.domain_cv;
+    }
     runs.insert(runs.end(), s.runs.begin(), s.runs.end());
   }
   rounds_ += 1;
   measured_ = max_wall;
   if (extent <= 0 || runs.empty()) return;  // empty job: nothing to fit
+  if (extent_ >= 0 && extent != extent_) {
+    // A different job shape under the same key: every observation and any
+    // audit verdict is stale. Back to trusting the model.
+    obs_.clear();
+    audit_.clear();
+    mode_ = PickMode::kModel;
+  }
   extent_ = extent;
+  // Remember what this round's configuration actually cost. The min over a
+  // config's rounds is its steady-state figure: a first round after an
+  // atom-boundary change pays one-time cold slice shipping that later
+  // rounds (and the committed steady state) never see again. The
+  // measurement round is excluded — it deliberately runs with every
+  // overlap disabled, so its wall is an instrument reading, not a
+  // configuration any steady state should commit to.
+  if (have_pick_) {
+    const TunedCandidate ran{ran_.policy, ran_.grain, ran_.prefetch,
+                             ran_.streaming, 0.0};
+    ObservedConfig* hit = nullptr;
+    for (auto& o : obs_) {
+      if (o.cfg.same_config(ran)) hit = &o;
+    }
+    if (hit == nullptr) {
+      obs_.push_back(ObservedConfig{ran, max_wall});
+    } else {
+      hit->wall_seconds = std::min(hit->wall_seconds, max_wall);
+    }
+  }
   // Runs of one round are disjoint, so unit_lo orders them totally — the
   // merged profile is deterministic regardless of arrival interleaving.
   std::sort(runs.begin(), runs.end(),
@@ -218,15 +261,26 @@ void AutoTuner::finish_round(net::Comm& comm, double wall_seconds,
 
   const int p = comm.size();
 
+  // Per-atom skew of the measured profile at the base grain: the scalar the
+  // makespan models can't see from counters alone. Recorded on the
+  // calibration (inspection, benches) and used below to widen the grain
+  // exploration — skewed segments reward finer atoms that demand policies
+  // can rebalance, exactly the regime where static's contiguous blocks lose.
+  const index_t base_grain = resolve_grain(extent, p, user_.grain, domain_cv);
+  cal_.cost_cv = sim::cost_variation(atoms_from_runs(runs, extent, base_grain));
+
   // Grain ladder. kOrdered consumers (and callers that pinned a grain) get
   // exactly the policy-independent resolve_grain value, preserving the
-  // bitwise-identity invariant; kTree consumers explore octaves around it.
+  // bitwise-identity invariant; kTree consumers explore octaves around it,
+  // one octave further toward fine grains when the measured skew is material.
   std::vector<index_t> ladder;
   if (user_.combine == CombineMode::kOrdered || user_.grain > 0) {
-    ladder.push_back(resolve_grain(extent, p, user_.grain));
+    ladder.push_back(base_grain);
   } else {
-    const index_t g0 = resolve_grain(extent, p, 0);
-    for (int o = -cfg_.grain_octaves; o <= cfg_.grain_octaves; ++o) {
+    const index_t g0 = resolve_grain(extent, p, 0, domain_cv);
+    const int extra_fine = cal_.cost_cv > 1.0 ? 1 : 0;
+    for (int o = -(cfg_.grain_octaves + extra_fine); o <= cfg_.grain_octaves;
+         ++o) {
       index_t g = o < 0 ? std::max<index_t>(1, g0 >> (-o)) : g0 << o;
       ladder.push_back(std::clamp<index_t>(g, 1, std::max<index_t>(1, extent)));
     }
@@ -273,20 +327,76 @@ void AutoTuner::finish_round(net::Comm& comm, double wall_seconds,
     }
   }
 
-  const TunedCandidate* best = nullptr;
-  for (const auto& cand : cands_) {
-    if (best == nullptr || cand.predicted_seconds < best->predicted_seconds) {
-      best = &cand;
+  // Measured feedback. The model prices warm steady-state rounds; a pick
+  // whose real wall blows past its prediction by the mistrust factor hit a
+  // cost the counters can't expose (cold re-shipping after an atom-boundary
+  // change, node oversubscription). Arguing with the clock is pointless:
+  // audit each policy's best-predicted variant with one real round, then
+  // commit to the fastest configuration actually observed.
+  if (mode_ == PickMode::kModel && have_pick_ && predicted_ > 0.0 &&
+      max_wall > cfg_.model_mistrust * predicted_) {
+    mode_ = PickMode::kAudit;
+    audit_.clear();
+    // One round per policy, each at its default serving variant (prefetch
+    // on, streaming off) and best-predicted grain: the audit ranks
+    // *policies* by the clock; the model keeps the variant refinements it
+    // is actually good at. Bounded: at most three extra rounds.
+    for (SchedulePolicy policy :
+         {SchedulePolicy::kStatic, SchedulePolicy::kGuided,
+          SchedulePolicy::kDynamic}) {
+      const TunedCandidate* bp = nullptr;
+      for (const auto& cand : cands_) {
+        if (cand.policy != policy || !cand.prefetch || cand.streaming) {
+          continue;
+        }
+        if (bp == nullptr || cand.predicted_seconds < bp->predicted_seconds) {
+          bp = &cand;
+        }
+      }
+      if (bp == nullptr) continue;
+      bool seen = false;
+      for (const auto& o : obs_) seen = seen || o.cfg.same_config(*bp);
+      if (!seen) audit_.push_back(*bp);
     }
   }
-  TRIOLET_CHECK(best != nullptr, "candidate lattice cannot be empty");
+
+  TunedCandidate chosen;
+  if (mode_ == PickMode::kAudit && audit_.empty()) {
+    mode_ = PickMode::kCommitted;
+  }
+  if (mode_ == PickMode::kAudit) {
+    chosen = audit_.front();
+    audit_.erase(audit_.begin());
+  } else if (mode_ == PickMode::kCommitted) {
+    const ObservedConfig* bo = nullptr;
+    for (const auto& o : obs_) {
+      if (bo == nullptr || o.wall_seconds < bo->wall_seconds) bo = &o;
+    }
+    TRIOLET_CHECK(bo != nullptr, "committed with no observations");
+    chosen = bo->cfg;
+  } else {
+    const TunedCandidate* best = nullptr;
+    for (const auto& cand : cands_) {
+      if (best == nullptr ||
+          cand.predicted_seconds < best->predicted_seconds) {
+        best = &cand;
+      }
+    }
+    TRIOLET_CHECK(best != nullptr, "candidate lattice cannot be empty");
+    chosen = *best;
+  }
   pick_ = user_;
   pick_.tuner = nullptr;
-  pick_.policy = best->policy;
-  pick_.grain = best->grain;
-  pick_.prefetch = best->prefetch;
-  pick_.streaming = best->streaming;
-  predicted_ = best->predicted_seconds;
+  pick_.policy = chosen.policy;
+  pick_.grain = chosen.grain;
+  pick_.prefetch = chosen.prefetch;
+  pick_.streaming = chosen.streaming;
+  // What the model says the chosen configuration should cost — the figure
+  // next round's mistrust check (and the benches' predicted column) reads.
+  predicted_ = chosen.predicted_seconds;
+  for (const auto& cand : cands_) {
+    if (cand.same_config(chosen)) predicted_ = cand.predicted_seconds;
+  }
   have_pick_ = true;
 }
 

@@ -21,10 +21,20 @@
 //            makespan_overlap / makespan_static_block on the measured atom
 //            durations; the predicted-best config is installed for the next
 //            round. Re-picked every round as measurements refresh.
+//   audit    the model is held to its word: when a picked round's measured
+//            wall blows past its prediction by kModelMistrust, the fit is
+//            demonstrably missing a cost the counters can't see (cold slice
+//            shipping on an atom-boundary change, an oversubscribed node,
+//            combine stalls), so the tuner stops arguing with the clock —
+//            it measures each policy's best-predicted variant once and then
+//            commits to the fastest *observed* configuration. Resident
+//            sources make this cheap: audit rounds that revisit an already
+//            shipped decomposition run warm, token-only.
 //
 // Determinism: all tuner state that influences a decision is derived from
 // allgathered data, so every rank computes bit-identical picks without a
 // broadcast — the SPMD analogue of the options being literal constants.
+// The audit path included: observations key off the allgathered max wall.
 //
 // kOrdered safety: when the consumer combines in atom order (or the caller
 // pinned an explicit grain), the grain ladder collapses to the one
@@ -64,6 +74,18 @@ struct TunedCandidate {
   bool prefetch = true;
   bool streaming = false;
   double predicted_seconds = 0.0;
+
+  bool same_config(const TunedCandidate& o) const {
+    return policy == o.policy && grain == o.grain &&
+           prefetch == o.prefetch && streaming == o.streaming;
+  }
+};
+
+/// The best (minimum) measured wall of every configuration that has run at
+/// least one full round, in first-ran order. Feeds the audit path.
+struct ObservedConfig {
+  TunedCandidate cfg;          // predicted_seconds unused here
+  double wall_seconds = 0.0;   // min over the rounds this config ran
 };
 
 struct TunerConfig {
@@ -74,6 +96,11 @@ struct TunerConfig {
   /// Include prefetch-off / streaming-on points in the lattice.
   bool explore_prefetch = true;
   bool explore_streaming = true;
+  /// Measured-over-predicted ratio past which the model is mistrusted and
+  /// the tuner switches to auditing real rounds (see header comment). The
+  /// default only fires on gross misses — cold shipping, oversubscription —
+  /// never on ordinary timing noise.
+  double model_mistrust = 3.0;
 };
 
 class AutoTuner;
@@ -96,6 +123,14 @@ struct TunerRegistry {
 /// SchedulePolicy::kAuto; usable directly for inspection in tests/benches.
 class AutoTuner {
  public:
+  /// How the next pick is chosen: by the makespan model (the default), by
+  /// working through the audit queue after a gross misprediction, or
+  /// committed to the best observed configuration. Committed is terminal
+  /// for the tuner's lifetime — committed rounds skip the per-round
+  /// collective entirely, so nothing new can be learned (recreate the
+  /// tuner, or use a fresh tune_key, to re-tune a changed job).
+  enum class PickMode { kModel, kAudit, kCommitted };
+
   AutoTuner() = default;
   explicit AutoTuner(TunerConfig cfg) : cfg_(cfg) {}
 
@@ -109,6 +144,10 @@ class AutoTuner {
   /// The full evaluated lattice of the last finish_round, predicted-best
   /// first is NOT guaranteed — entries keep lattice order; see pick().
   const std::vector<TunedCandidate>& candidates() const { return cands_; }
+  /// Audit state: how the current pick was chosen and what has actually
+  /// been measured so far (min wall per configuration that ran).
+  PickMode pick_mode() const { return mode_; }
+  const std::vector<ObservedConfig>& observations() const { return obs_; }
   /// Max-over-ranks wall seconds of the last round, and what the model
   /// predicted for the configuration that ran it (0 before any pick ran).
   double last_measured_seconds() const { return measured_; }
@@ -130,9 +169,13 @@ class AutoTuner {
   /// Collective round finish: allgathers this rank's samples and counter
   /// delta, refits the calibration, evaluates the candidate lattice, and
   /// installs the predicted-best configuration for the next round.
-  /// `root_extent` is the job's outer extent on rank 0, -1 elsewhere.
+  /// `root_extent` is the job's outer extent on rank 0, -1 elsewhere;
+  /// `root_cost_cv` is the domain's per-unit cost-variance hint
+  /// (core::outer_cost_cv) on rank 0 — allgathered with the extent so every
+  /// rank pins the same cv-aware resolve_grain the concrete policies use.
   void finish_round(net::Comm& comm, double wall_seconds,
-                    const net::CommStats& delta, index_t root_extent);
+                    const net::CommStats& delta, index_t root_extent,
+                    double root_cost_cv = 0.0);
 
  private:
   TunerConfig cfg_{};
@@ -146,6 +189,9 @@ class AutoTuner {
   std::vector<TunedCandidate> cands_;
   double measured_ = 0.0;
   double predicted_ = 0.0;
+  PickMode mode_ = PickMode::kModel;
+  std::vector<ObservedConfig> obs_;     // min measured wall per ran config
+  std::vector<TunedCandidate> audit_;   // configs still owed a real round
 
   std::mutex mu_;  // guards runs_ (streamed on_chunk records concurrently)
   std::vector<RunSample> runs_;

@@ -1,6 +1,7 @@
 #include "sim/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "net/comm.hpp"
@@ -108,6 +109,17 @@ double total_work(const std::vector<double>& tasks) {
   double sum = 0.0;
   for (double d : tasks) sum += d;
   return sum;
+}
+
+double cost_variation(const std::vector<double>& tasks) {
+  if (tasks.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (double d : tasks) sum += d;
+  const double mean = sum / static_cast<double>(tasks.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double d : tasks) var += (d - mean) * (d - mean);
+  return std::sqrt(var / static_cast<double>(tasks.size())) / mean;
 }
 
 Calibration calibrate_from(const net::CommStats& comm,

@@ -66,6 +66,11 @@ double makespan_overlap(const std::vector<double>& chunks, int workers,
 /// Sum of task durations (the 1-worker makespan).
 double total_work(const std::vector<double>& tasks);
 
+/// Coefficient of variation (stddev / mean) of a measured task-duration
+/// profile — the scalar skew figure the calibration carries for segmented
+/// (ragged) workloads. 0 for uniform, empty, or degenerate profiles.
+double cost_variation(const std::vector<double>& tasks);
+
 // -- measured-counter calibration ---------------------------------------------
 //
 // The makespan models above take abstract chunk durations and a scalar claim
@@ -108,6 +113,13 @@ struct Calibration {
   /// Intra-node pool tasks per outer unit (NodePoolStats) — how finely the
   /// node-level runtime subdivided the granted work; informational.
   double tasks_per_item = 0.0;
+  /// Per-atom cost variation (cost_variation of the measured atom profile
+  /// at the base grain). Dense uniform rounds fit ~0; segmented power-law
+  /// rounds fit >> 0, and the tuner widens its exploration toward finer
+  /// grains and demand policies when the skew is material (not filled by
+  /// calibrate_from — the counters carry no per-atom data; the tuner sets
+  /// it from its allgathered run samples).
+  double cost_cv = 0.0;
   /// Sample mass behind the numbers (outer units measured). 0 = nothing
   /// measured; the calibration is not usable.
   std::int64_t items = 0;

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <tuple>
+#include <vector>
 
 #include "core/domains.hpp"
 #include "runtime/parallel.hpp"
@@ -327,6 +329,179 @@ TEST(AutoGrainFor, GrainTilesTheExtent) {
       EXPECT_LE(g, std::max<index_t>(1, n));
     }
   }
+}
+
+// -- segmented (ragged) domains -----------------------------------------------
+
+namespace {
+
+SegSeq seg_domain(std::vector<index_t> offsets, index_t value_grain) {
+  auto cuts = std::make_shared<std::vector<index_t>>(
+      segment_cuts(offsets, value_grain));
+  auto weights = std::make_shared<const std::vector<index_t>>(
+      segment_weights(offsets, *cuts));
+  return SegSeq{0, static_cast<index_t>(cuts->size()) - 1, std::move(cuts),
+                std::move(weights)};
+}
+
+}  // namespace
+
+TEST(SegSeq, SizeContainsOrdinalForEach) {
+  // 4 segments with value counts {2, 0, 3, 1}, grouped at grain 3.
+  SegSeq d = seg_domain({0, 2, 2, 5, 6}, 3);
+  EXPECT_EQ(d.size(), 4);  // size counts segments (the iteration ordinals)
+  EXPECT_TRUE(d.contains(0));
+  EXPECT_TRUE(d.contains(3));
+  EXPECT_FALSE(d.contains(4));
+  EXPECT_EQ(d.ordinal(2), 2);
+  std::vector<index_t> seen;
+  d.for_each([&](index_t s) { seen.push_back(s); });
+  EXPECT_EQ(seen, (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(SegmentCuts, ValueBalancedGrouping) {
+  // Counts {2, 0, 3, 1} at grain 3: unit 0 closes once it holds >= 3
+  // values (segments 0..2 — the empty segment rides along), unit 1 takes
+  // the remainder.
+  std::vector<index_t> offsets{0, 2, 2, 5, 6};
+  EXPECT_EQ(segment_cuts(offsets, 3), (std::vector<index_t>{0, 3, 4}));
+  EXPECT_EQ(segment_weights(offsets, segment_cuts(offsets, 3)),
+            (std::vector<index_t>{5, 1}));
+}
+
+TEST(SegmentCuts, JumboSegmentClosesItsOwnUnit) {
+  // A single segment larger than the grain becomes one oversized unit:
+  // segments are the correctness atom and never split.
+  std::vector<index_t> offsets{0, 1, 101, 102};
+  EXPECT_EQ(segment_cuts(offsets, 10), (std::vector<index_t>{0, 2, 3}));
+  EXPECT_EQ(segment_weights(offsets, segment_cuts(offsets, 10)),
+            (std::vector<index_t>{101, 1}));
+}
+
+TEST(SegmentCuts, DegenerateShapesStayValid) {
+  // No segments: a single boundary, zero units, empty domain.
+  std::vector<index_t> none{0};
+  EXPECT_EQ(segment_cuts(none, 4), (std::vector<index_t>{0}));
+  EXPECT_EQ(seg_domain({0}, 4).size(), 0);
+  // All segments empty: one unit holding every (empty) segment.
+  std::vector<index_t> empties{0, 0, 0, 0};
+  EXPECT_EQ(segment_cuts(empties, 4), (std::vector<index_t>{0, 3}));
+  SegSeq d = seg_domain({0, 0, 0, 0}, 4);
+  EXPECT_EQ(outer_extent(d), 1);
+  EXPECT_EQ(d.size(), 3);  // three segments, zero values
+}
+
+TEST(SplitBlocks, SegSeqCoversWithoutOverlap) {
+  SegSeq d = seg_domain({0, 2, 4, 6, 8, 10, 12, 14, 16}, 4);  // 4 units
+  auto blocks = split_blocks(d, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  std::set<index_t> seen;
+  index_t covered = 0;
+  for (const auto& b : blocks) {
+    covered += b.size();
+    b.for_each([&](index_t s) {
+      EXPECT_TRUE(seen.insert(s).second) << "overlap at segment " << s;
+    });
+  }
+  EXPECT_EQ(covered, d.size());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(d.size()));
+}
+
+TEST(SplitBlocks, SegSeqFewerUnitsThanChunksStaysValid) {
+  // Fewer outer units than ranks: every chunk is a valid window (empty
+  // chunks allowed), the non-empty ones partition the domain.
+  SegSeq d = seg_domain({0, 5, 9}, 4);  // 2 units
+  auto blocks = split_blocks(d, 5);
+  ASSERT_EQ(blocks.size(), 5u);
+  index_t covered = 0;
+  int nonempty = 0;
+  for (const auto& b : blocks) {
+    EXPECT_GE(b.u1, b.u0);
+    EXPECT_LE(b.seg_lo(), b.seg_hi());
+    covered += b.size();
+    if (b.size() > 0) ++nonempty;
+  }
+  EXPECT_EQ(covered, d.size());
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(OuterSlice, SegSeqRelativeWindowsAndClamping) {
+  SegSeq d = seg_domain({0, 2, 4, 6, 8, 10, 12, 14, 16}, 4);  // 4 units
+  EXPECT_EQ(outer_extent(d), 4);
+  auto band = outer_slice(d, 1, 3);
+  EXPECT_EQ(band.units(), 2);
+  EXPECT_EQ(band.seg_lo(), 2);
+  EXPECT_EQ(band.seg_hi(), 6);
+  // Slices are relative to the window, like every other domain.
+  auto inner = outer_slice(band, 1, 2);
+  EXPECT_EQ(inner.seg_lo(), 4);
+  EXPECT_EQ(inner.seg_hi(), 6);
+  // Clamped and inverted windows degrade to valid (possibly empty) slices.
+  EXPECT_EQ(outer_slice(d, 2, 99).units(), 2);
+  EXPECT_EQ(outer_slice(d, 99, 120).size(), 0);
+  EXPECT_EQ(outer_slice(d, 3, 1).size(), 0);
+}
+
+TEST(OuterSlice, SegSeqChunksTileLikeSeq) {
+  // The scheduler's atom decomposition: fixed-grain outer_slice windows
+  // tile the domain exactly, segment-disjoint.
+  SegSeq d = seg_domain({0, 1, 4, 4, 9, 10, 16, 18}, 3);
+  const index_t extent = outer_extent(d);
+  for (index_t grain : {index_t{1}, index_t{2}, index_t{3}}) {
+    std::set<index_t> seen;
+    for (index_t u = 0; u < extent; u += grain) {
+      auto band = outer_slice(d, u, std::min(extent, u + grain));
+      band.for_each([&](index_t s) {
+        EXPECT_TRUE(seen.insert(s).second) << "overlap at segment " << s;
+      });
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(d.size()));
+  }
+}
+
+TEST(Intersect, SegSeqSharedCutsNarrowsWindow) {
+  SegSeq d = seg_domain({0, 2, 4, 6, 8, 10, 12, 14, 16}, 4);
+  SegSeq a = outer_slice(d, 0, 3);
+  SegSeq b = outer_slice(d, 1, 4);
+  SegSeq r = intersect(a, b);
+  EXPECT_EQ(r.u0, 1);
+  EXPECT_EQ(r.u1, 3);
+  // Content-equal windows with distinct cut vectors also intersect.
+  SegSeq d2 = seg_domain({0, 2, 4, 6, 8, 10, 12, 14, 16}, 4);
+  EXPECT_EQ(intersect(d, d2).units(), d.units());
+}
+
+TEST(OuterCostCv, DenseZeroSkewedPositive) {
+  EXPECT_EQ(outer_cost_cv(Seq{0, 100}), 0.0);
+  EXPECT_EQ(outer_cost_cv(Dim2{0, 4, 0, 4}), 0.0);
+  // Uniform per-unit weights: no variance.
+  EXPECT_DOUBLE_EQ(outer_cost_cv(seg_domain({0, 2, 4, 6, 8}, 2)), 0.0);
+  // One jumbo unit among small ones: material variance.
+  EXPECT_GT(outer_cost_cv(seg_domain({0, 1, 2, 3, 103}, 1)), 1.0);
+  // Without a weights hint the cv degrades to 0 (dense behavior).
+  SegSeq bare = seg_domain({0, 1, 2, 103}, 1);
+  bare.weights = nullptr;
+  EXPECT_EQ(outer_cost_cv(bare), 0.0);
+}
+
+TEST(AutoGrainFor, CostVarianceHintOnlyRefines) {
+  // cv <= 0 is the exact dense heuristic — pinned so segmented support
+  // cannot shift any dense consumer's grain.
+  for (index_t n : {index_t{0}, index_t{64}, index_t{1000}, index_t{3200}}) {
+    for (int p : {1, 4, 8}) {
+      EXPECT_EQ(auto_grain_for(n, p, 0.0), auto_grain_for(n, p));
+      EXPECT_EQ(auto_grain_for(n, p, -1.0), auto_grain_for(n, p));
+    }
+  }
+  // Positive cv targets more, finer chunks — never coarser than dense,
+  // always within [1, extent].
+  for (double cv : {0.5, 1.0, 3.0, 100.0}) {
+    const index_t g = auto_grain_for(3200, 4, cv);
+    EXPECT_LE(g, auto_grain_for(3200, 4));
+    EXPECT_GE(g, 1);
+  }
+  // The refinement saturates (clamped at 4x the dense chunk target).
+  EXPECT_EQ(auto_grain_for(3200, 4, 100.0), auto_grain_for(3200, 4, 3.0));
 }
 
 }  // namespace

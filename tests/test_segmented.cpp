@@ -1,0 +1,452 @@
+// Tests for segmented sources and fused distributed views: the
+// SegmentedDistArray (CSR offsets+values with value-balanced chunking),
+// dist::zip/slice/transform view composition, leaf-wise residency
+// tokenization (view_bytes_avoided), kOrdered bitwise identity on skewed
+// segmented reductions across every policy / rank count / fused-vs-
+// materialized pipeline, and the halo-exchange stencil skeleton.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/triolet.hpp"
+#include "dist/dist_array.hpp"
+#include "dist/halo.hpp"
+#include "dist/segmented.hpp"
+#include "dist/skeletons.hpp"
+#include "dist/views.hpp"
+#include "net/cluster.hpp"
+#include "net/residency.hpp"
+#include "support/rng.hpp"
+
+namespace triolet::dist {
+namespace {
+
+using core::index_t;
+
+/// Slice-cache budget guard (see test_residency.cpp).
+struct BudgetGuard {
+  explicit BudgetGuard(std::size_t bytes) {
+    net::set_slice_cache_budget(bytes);
+  }
+  ~BudgetGuard() { net::set_slice_cache_budget(~std::size_t{0}); }
+};
+
+/// Power-law-ish CSR shape: most segments are short, every 16th is a jumbo
+/// carrying ~64x the values. Deterministic in `seed`.
+std::pair<std::vector<index_t>, std::vector<double>> power_law_csr(
+    index_t nsegs, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<index_t> offsets{0};
+  std::vector<double> values;
+  for (index_t s = 0; s < nsegs; ++s) {
+    const index_t len = (s % 16 == 0) ? 128 : 1 + s % 3;
+    for (index_t k = 0; k < len; ++k) {
+      values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    offsets.push_back(static_cast<index_t>(values.size()));
+  }
+  return {std::move(offsets), std::move(values)};
+}
+
+double segment_dot(const Segment<double>& seg) {
+  double acc = 0.0;
+  for (index_t k = 0; k < seg.size(); ++k) {
+    acc += seg[k] * static_cast<double>(1 + (seg.index + k) % 7);
+  }
+  return acc;
+}
+
+double sequential_segmented_sum(const std::vector<index_t>& offsets,
+                                const std::vector<double>& values) {
+  double acc = 0.0;
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    Segment<double> seg{
+        static_cast<index_t>(s),
+        std::span<const double>(
+            values.data() + offsets[s],
+            static_cast<std::size_t>(offsets[s + 1] - offsets[s]))};
+    acc += segment_dot(seg);
+  }
+  return acc;
+}
+
+// -- SegmentedDistArray basics ------------------------------------------------
+
+TEST(SegmentedArray, IterationVisitsEverySegmentOnce) {
+  // Counts {2, 0, 3, 1}: empty and ragged segments iterate like any other.
+  SegmentedDistArray<double> a({0, 2, 2, 5, 6}, {1, 2, 3, 4, 5, 6}, 3);
+  EXPECT_EQ(a.segments(), 4);
+  EXPECT_EQ(a.value_count(), 6);
+  auto it = from_segmented(a);
+  std::vector<index_t> sizes;
+  double total = core::reduce(
+      core::map(it,
+                [&](const Segment<double>& seg) {
+                  sizes.push_back(seg.size());
+                  double s = 0;
+                  for (double v : seg) s += v;
+                  return s;
+                }),
+      0.0, [](double x, double y) { return x + y; });
+  EXPECT_EQ(sizes, (std::vector<index_t>{2, 0, 3, 1}));
+  EXPECT_DOUBLE_EQ(total, 21.0);
+}
+
+TEST(SegmentedArray, SliceNarrowsBothLeavesZeroCopy) {
+  SegmentedDistArray<double> a({0, 2, 2, 5, 6}, {1, 2, 3, 4, 5, 6}, 3);
+  auto src = a.source();
+  auto dom = a.domain();
+  ASSERT_EQ(dom.units(), 2);  // cuts {0, 3, 4} at grain 3
+  auto sub = slice_source(src, dom, core::outer_slice(dom, 1, 2));
+  // Unit 1 covers segment 3 only: offsets window [3, 5), values [5, 6).
+  EXPECT_EQ(sub.offsets.data.get(), src.offsets.data.get());
+  EXPECT_EQ(sub.values.data.get(), src.values.data.get());
+  EXPECT_EQ(sub.offsets.lo, 3);
+  EXPECT_EQ(sub.offsets.hi, 5);
+  EXPECT_EQ(sub.values.lo, 5);
+  EXPECT_EQ(sub.values.hi, 6);
+  auto seg = sub.segment(3);
+  ASSERT_EQ(seg.size(), 1);
+  EXPECT_EQ(seg[0], 6.0);
+  // An empty window anchored at the domain end slices in-range.
+  auto none = slice_source(src, dom, core::outer_slice(dom, 2, 2));
+  EXPECT_EQ(none.offsets.hi - none.offsets.lo, 1);
+  EXPECT_EQ(none.values.hi, none.values.lo);
+}
+
+TEST(SegmentedArray, TraitsMarkFusedResidentViews) {
+  SegmentedDistArray<double> a({0, 1}, {2.0});
+  DistArray<double> d{Array1<double>(8)};
+  auto seg = from_segmented(a);
+  auto one = from_resident(d);
+  auto two = dist::zip(d, d);
+  EXPECT_TRUE(core::iter_uses_residency_v<decltype(seg)>);
+  EXPECT_EQ(core::resident_leaf_count<SegmentedSource<double>>::value, 2);
+  EXPECT_TRUE(core::iter_is_fused_view_v<decltype(seg)>);
+  EXPECT_FALSE(core::iter_is_fused_view_v<decltype(one)>);  // single leaf
+  EXPECT_TRUE(core::iter_is_fused_view_v<decltype(two)>);
+  // transform preserves the source, and with it both traits.
+  auto mapped = dist::transform(seg, segment_dot);
+  EXPECT_TRUE(core::iter_is_fused_view_v<decltype(mapped)>);
+}
+
+TEST(SegmentedArray, SourceCodecRoundTripsWithoutScopes) {
+  SegmentedDistArray<int> a({0, 3, 3, 4}, {7, 8, 9, -1}, 2);
+  auto src = a.source();
+  auto back =
+      serial::from_bytes<SegmentedSource<int>>(serial::to_bytes(src));
+  EXPECT_EQ(back, src);
+  auto dom = a.domain();
+  auto dback = serial::from_bytes<core::SegSeq>(serial::to_bytes(dom));
+  EXPECT_EQ(dback, dom);
+  EXPECT_EQ(dback.size(), dom.size());
+}
+
+// -- scheduled segmented reductions ------------------------------------------
+
+TEST(SegmentedSched, OrderedBitwiseAcrossPoliciesAndRankCounts) {
+  const index_t nsegs = 512;
+  auto [offsets, values] = power_law_csr(nsegs, 21);
+  const double expect = sequential_segmented_sum(offsets, values);
+  SegmentedDistArray<double> a(offsets, values);
+  BudgetGuard guard(std::size_t{64} << 20);
+
+  // Pinned grain: the decomposition must not depend on the rank count for
+  // the cross-rank-count comparison (auto grain is ranks-dependent by
+  // design, policy-independent at any fixed rank count).
+  const index_t grain = 3;
+  std::vector<double> results;
+  for (int nranks : {1, 2, 4}) {
+    for (auto policy :
+         {sched::SchedulePolicy::kStatic, sched::SchedulePolicy::kGuided,
+          sched::SchedulePolicy::kDynamic, sched::SchedulePolicy::kAuto}) {
+      double r = 0.0;
+      auto res = net::Cluster::run(nranks, [&](net::Comm& comm) {
+        NodeRuntime node(1);
+        sched::SchedOptions opts;
+        opts.policy = policy;
+        opts.combine = sched::CombineMode::kOrdered;
+        opts.grain = grain;
+        auto make = [&] {
+          return dist::transform(from_segmented(a), segment_dot);
+        };
+        // Two rounds so kAuto's post-measurement pick runs at least once.
+        double r1 = dist::sum(comm, make, opts);
+        double r2 = dist::sum(comm, make, opts);
+        if (comm.rank() == 0) {
+          EXPECT_EQ(r1, r2) << "round-to-round drift";
+          r = r1;
+        }
+      });
+      ASSERT_TRUE(res.ok) << res.error;
+      EXPECT_NEAR(r, expect, 1e-9 * std::abs(expect));
+      results.push_back(r);
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&results[0], &results[i], sizeof(double)), 0)
+        << "config " << i << " diverged bitwise";
+  }
+}
+
+TEST(SegmentedSched, WarmRoundsTokenizeBothLeaves) {
+  const index_t nsegs = 1024;
+  auto [offsets, values] = power_law_csr(nsegs, 22);
+  SegmentedDistArray<double> a(offsets, values);
+  BudgetGuard guard(std::size_t{64} << 20);
+
+  auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+    NodeRuntime node(1);
+    sched::SchedOptions opts;
+    // kStatic pushes exactly one data-carrying grant per remote rank each
+    // round, making the token counts deterministic (a demand policy may let
+    // a fast root self-issue everything before worker requests land).
+    opts.policy = sched::SchedulePolicy::kStatic;
+    opts.combine = sched::CombineMode::kOrdered;
+    auto make = [&] {
+      return dist::transform(from_segmented(a), segment_dot);
+    };
+    double r1 = dist::sum(comm, make, opts);
+    double r2 = dist::sum(comm, make, opts);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(r1, r2);
+    }
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto& vs = res.total_stats.views;
+  const auto& rs = res.total_stats.residency;
+  // Round 1 inlines both leaves of each remote rank's grant (3 ranks x
+  // offsets+values); round 2 replays the same slices, so every one goes out
+  // as a token, all charged to the view counters.
+  EXPECT_EQ(rs.slices_inlined, 6);
+  EXPECT_EQ(rs.tokens_sent, 6);
+  EXPECT_EQ(vs.view_tokens, 6);
+  EXPECT_GT(vs.view_bytes_avoided, 0);
+  EXPECT_EQ(vs.view_bytes_avoided, rs.bytes_avoided);
+  EXPECT_EQ(rs.checksum_failures, 0);
+}
+
+TEST(SegmentedSched, MutatingValuesRetiresCachedSlices) {
+  auto [offsets, values] = power_law_csr(256, 23);
+  SegmentedDistArray<double> a(offsets, values);
+  BudgetGuard guard(std::size_t{64} << 20);
+
+  double r1 = 0.0, r2 = 0.0;
+  auto res = net::Cluster::run(2, [&](net::Comm& comm) {
+    NodeRuntime node(1);
+    sched::SchedOptions opts;
+    // kStatic so the worker rank is guaranteed to receive (and re-receive)
+    // its slice of the values leaf — round 2 must see the bumped version,
+    // not a stale cached slice.
+    opts.policy = sched::SchedulePolicy::kStatic;
+    opts.combine = sched::CombineMode::kOrdered;
+    auto make = [&] {
+      return dist::transform(from_segmented(a), segment_dot);
+    };
+    double x = dist::sum(comm, make, opts);
+    if (comm.rank() == 0) a.mutate_values()[0] += 1.0;
+    double y = dist::sum(comm, make, opts);
+    if (comm.rank() == 0) {
+      r1 = x;
+      r2 = y;
+    }
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  // Segment 0's dot weights position 0 with factor 1: the bump shifts the
+  // total by exactly 1.0, which only happens if round 2 saw fresh values.
+  EXPECT_NEAR(r2 - r1, 1.0, 1e-9);
+}
+
+// -- fused dense views --------------------------------------------------------
+
+double fuse_pair(const std::pair<double, double>& p) {
+  return p.first * p.second + 0.5 * p.first;
+}
+
+TEST(Views, FusedPipelineMatchesMaterializedBitwiseAndTokenizes) {
+  // zip pairs by *global index* over the domain intersection: a covers
+  // [0, n), b covers [0, 2n), and slice(b, 0, n) narrows the view so only
+  // that window ever ships or caches. The fused pipeline is compared
+  // bitwise against a materialized baseline (intermediate array built
+  // eagerly, then reduced): same element values, same atoms, same kOrdered
+  // fold, so the scalars must agree to the last bit.
+  const index_t n = 20000;
+  Xoshiro256 rng(31);
+  Array1<double> av(n), bv(2 * n);
+  for (index_t i = 0; i < n; ++i) av[i] = rng.uniform(-1.0, 1.0);
+  for (index_t i = 0; i < 2 * n; ++i) bv[i] = rng.uniform(-1.0, 1.0);
+  double expect = 0.0;
+  Array1<double> cv(n);
+  for (index_t i = 0; i < n; ++i) {
+    cv[i] = fuse_pair({av[i], bv[i]});
+    expect += cv[i];
+  }
+  DistArray<double> da{std::move(av)};
+  DistArray<double> db{std::move(bv)};
+  DistArray<double> dc{std::move(cv)};  // the materialized intermediate
+  BudgetGuard guard(std::size_t{64} << 20);
+
+  double fused1 = 0.0, fused2 = 0.0, materialized = 0.0;
+  auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+    NodeRuntime node(1);
+    sched::SchedOptions opts;
+    // kStatic: deterministic grant traffic (see WarmRoundsTokenizeBothLeaves).
+    // kOrdered results are policy-independent, so the bitwise comparison
+    // loses nothing.
+    opts.policy = sched::SchedulePolicy::kStatic;
+    opts.combine = sched::CombineMode::kOrdered;
+    opts.grain = 64;
+    auto fused = [&] {
+      return dist::transform(dist::zip(da, dist::slice(db, 0, n)),
+                             fuse_pair);
+    };
+    double f1 = dist::sum(comm, fused, opts);
+    double f2 = dist::sum(comm, fused, opts);  // warm round: tokens only
+    double m = dist::sum(comm, [&] { return from_resident(dc); }, opts);
+    if (comm.rank() == 0) {
+      fused1 = f1;
+      fused2 = f2;
+      materialized = m;
+    }
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_NEAR(fused1, expect, 1e-9 * std::abs(expect));
+  EXPECT_EQ(fused1, fused2);
+  EXPECT_EQ(std::memcmp(&fused1, &materialized, sizeof(double)), 0)
+      << "fused and materialized pipelines diverged bitwise";
+  const auto& vs = res.total_stats.views;
+  EXPECT_GT(vs.view_tokens, 0);
+  EXPECT_GT(vs.view_bytes_avoided, 0);
+  // Warm fused rounds tokenize both leaves of every worker slice; the
+  // avoided bytes are a substantial share of one full scatter of a + the
+  // b window (3 of 4 ranks' slices, two leaves each).
+  const auto one_scatter =
+      static_cast<std::int64_t>(2 * n * sizeof(double) * 3 / 4);
+  EXPECT_GE(vs.view_bytes_avoided, one_scatter / 2);
+}
+
+// -- halo exchange ------------------------------------------------------------
+
+TEST(Halo, ExchangeFillsGhostRowsAndCountsBoundaryTraffic) {
+  const index_t ny = 12, nx = 8, radius = 1;
+  const int nranks = 3;
+  auto res = net::Cluster::run(nranks, [&](net::Comm& comm) {
+    auto slab = make_halo_slab<double>(ny, nx, radius, comm.rank(),
+                                       comm.size());
+    for (index_t y = slab.y0; y < slab.y1; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        slab.grid(y, x) = static_cast<double>(100 * y + x);
+      }
+    }
+    {
+      HaloExchange<double> hx(comm, slab);
+      hx.finish();
+    }
+    // Ghost rows now hold the neighbor's owned values.
+    if (slab.prev >= 0) {
+      for (index_t x = 0; x < nx; ++x) {
+        EXPECT_EQ(slab.grid(slab.y0 - 1, x),
+                  static_cast<double>(100 * (slab.y0 - 1) + x));
+      }
+    }
+    if (slab.next >= 0) {
+      for (index_t x = 0; x < nx; ++x) {
+        EXPECT_EQ(slab.grid(slab.y1, x),
+                  static_cast<double>(100 * slab.y1 + x));
+      }
+    }
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto& vs = res.total_stats.views;
+  EXPECT_EQ(vs.halo_exchanges, nranks);
+  // 4 boundary messages total (interior rank sends 2, edge ranks 1 each),
+  // each radius*nx cells + a 24-byte header: O(boundary), not O(slab).
+  EXPECT_EQ(vs.halo_messages, 4);
+  EXPECT_EQ(vs.halo_bytes,
+            4 * (24 + static_cast<std::int64_t>(radius * nx *
+                                                sizeof(double))));
+  EXPECT_EQ(vs.ghost_cells, 4 * radius * nx);
+  EXPECT_GE(vs.halo_overlap_seconds, 0.0);
+}
+
+TEST(Halo, SweepMatchesSequentialStencilBitwise) {
+  const index_t ny = 32, nx = 16, radius = 1;
+  const int iters = 3;
+  auto stencil = [](const Array2<double>& g, index_t y, index_t x) {
+    const index_t ylo = g.row_lo(), yhi = g.row_hi() - 1;
+    const index_t ym = std::max(y - 1, ylo), yp = std::min(y + 1, yhi);
+    const index_t xm = std::max<index_t>(x - 1, 0);
+    const index_t xp = std::min<index_t>(x + 1, nx - 1);
+    return 0.25 * (g(ym, x) + g(yp, x) + g(y, xm) + g(y, xp));
+  };
+  auto init = [](index_t y, index_t x) {
+    return static_cast<double>((y * 7 + x * 3) % 11) - 5.0;
+  };
+
+  // Sequential reference: the same sweep on one undivided slab. Physical
+  // edges clamp to the grid; with no neighbors there are no ghosts, so the
+  // clamp logic is identical to every rank's.
+  Array2<double> ref(ny, nx), scratch(ny, nx);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) ref(y, x) = init(y, x);
+  }
+  for (int t = 0; t < iters; ++t) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) scratch(y, x) = stencil(ref, y, x);
+    }
+    std::swap(ref, scratch);
+  }
+
+  for (int nranks : {1, 4}) {
+    std::vector<double> gathered(static_cast<std::size_t>(ny * nx), 0.0);
+    auto res = net::Cluster::run(nranks, [&](net::Comm& comm) {
+      auto cur = make_halo_slab<double>(ny, nx, radius, comm.rank(),
+                                        comm.size());
+      auto next = make_halo_slab<double>(ny, nx, radius, comm.rank(),
+                                         comm.size());
+      for (index_t y = cur.y0; y < cur.y1; ++y) {
+        for (index_t x = 0; x < nx; ++x) cur.grid(y, x) = init(y, x);
+      }
+      for (int t = 0; t < iters; ++t) {
+        halo_sweep(comm, cur, next, stencil, t);
+        std::swap(cur, next);
+      }
+      std::vector<double> mine;
+      for (index_t y = cur.y0; y < cur.y1; ++y) {
+        auto row = cur.grid.row(y);
+        mine.insert(mine.end(), row.begin(), row.end());
+      }
+      auto parts = comm.gather(mine, 0);
+      if (comm.rank() == 0) {
+        std::size_t at = 0;
+        for (const auto& p : parts) {
+          std::copy(p.begin(), p.end(), gathered.begin() + at);
+          at += p.size();
+        }
+      }
+    });
+    ASSERT_TRUE(res.ok) << res.error;
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const double got = gathered[static_cast<std::size_t>(y * nx + x)];
+        const double want = ref(y, x);
+        ASSERT_EQ(std::memcmp(&got, &want, sizeof(double)), 0)
+            << "ranks=" << nranks << " (" << y << "," << x << ")";
+      }
+    }
+    if (nranks == 4) {
+      const auto& vs = res.total_stats.views;
+      EXPECT_EQ(vs.halo_exchanges, 4 * iters);
+      EXPECT_EQ(vs.halo_messages, 6 * iters);  // 2 interior x2 + 2 edges x1
+      EXPECT_EQ(vs.ghost_cells, 6 * iters * radius * nx);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace triolet::dist

@@ -11,6 +11,11 @@
 #include <tuple>
 #include <vector>
 
+#include "core/consume.hpp"
+#include "core/domains.hpp"
+#include "dist/dist_array.hpp"
+#include "dist/segmented.hpp"
+#include "dist/views.hpp"
 #include "serial/checksum.hpp"
 #include "serial/serialize.hpp"
 #include "support/rng.hpp"
@@ -262,6 +267,95 @@ TEST(Checksum, StreamChecksumMatchesFlatPathForCopiedStreams) {
   auto sg = to_segments(small);
   EXPECT_EQ(sg.bytes_borrowed(), 0u);
   EXPECT_EQ(sg.stream_checksum(), checksum(to_bytes(small)));
+}
+
+// -- segmented domains and view descriptors ----------------------------------
+//
+// The SegSeq codec ships only the visible cut window of a sliced domain and
+// rebases the reader to [0, units); view iterators (zip-of-slice trees over
+// resident leaves) must round-trip without any residency scope installed —
+// the inline fallback is the cold-start wire format.
+
+TEST(SegSeqCodec, SlicedWindowShipsOnlyVisibleCutsAndRebases) {
+  auto cuts = std::make_shared<const std::vector<triolet::index_t>>(
+      std::vector<triolet::index_t>{0, 3, 4, 9, 10});
+  auto weights = std::make_shared<const std::vector<triolet::index_t>>(
+      std::vector<triolet::index_t>{30, 2, 51, 7});
+  triolet::core::SegSeq full{0, 4, cuts, weights};
+  auto window = triolet::core::outer_slice(full, 1, 3);  // units [1, 3)
+  auto back = from_bytes<triolet::core::SegSeq>(to_bytes(window));
+  // Rebased unit window over reconstructed vectors, same global segments.
+  EXPECT_EQ(back.u0, 0);
+  EXPECT_EQ(back.u1, 2);
+  EXPECT_EQ(back, window);
+  EXPECT_EQ(back.seg_lo(), 3);
+  EXPECT_EQ(back.seg_hi(), 9);
+  ASSERT_TRUE(back.weights);
+  EXPECT_EQ((*back.weights)[0], 2);
+  EXPECT_EQ((*back.weights)[1], 51);
+  // The window's wire image carries 3 cuts, not all 5.
+  EXPECT_LT(to_bytes(window).size(), to_bytes(full).size());
+}
+
+TEST(SegSeqCodec, AbsentWeightsAndEmptyWindowRoundTrip) {
+  auto cuts = std::make_shared<const std::vector<triolet::index_t>>(
+      std::vector<triolet::index_t>{2, 5});
+  triolet::core::SegSeq d{0, 1, cuts, nullptr};
+  auto back = from_bytes<triolet::core::SegSeq>(to_bytes(d));
+  EXPECT_EQ(back, d);
+  EXPECT_FALSE(back.weights);
+  // Degenerate empty unit window (u0 == u1) survives the trip.
+  triolet::core::SegSeq empty{1, 1, cuts, nullptr};
+  auto eback = from_bytes<triolet::core::SegSeq>(to_bytes(empty));
+  EXPECT_EQ(eback.units(), 0);
+  EXPECT_EQ(eback.size(), 0);
+}
+
+TEST(ViewDescriptors, NestedZipOfSliceRoundTripsInline) {
+  const triolet::index_t n = 300;
+  Array1<double> av(n), bv(2 * n);
+  for (triolet::index_t i = 0; i < n; ++i) av[i] = 0.25 * double(i);
+  for (triolet::index_t i = 0; i < 2 * n; ++i) bv[i] = 1.0 / double(i + 1);
+  triolet::dist::DistArray<double> da{std::move(av)};
+  triolet::dist::DistArray<double> db{std::move(bv)};
+  auto it = triolet::dist::zip(da, triolet::dist::slice(db, 0, n));
+  using It = std::remove_cvref_t<decltype(it)>;
+  // No ResidencyEncodeScope installed: both leaves inline their bytes.
+  auto back = from_bytes<It>(to_bytes(it));
+  auto dot = [](const auto& v) {
+    double acc = 0.0;
+    triolet::core::visit(v, [&](const std::pair<double, double>& p) {
+      acc += p.first * p.second;
+    });
+    return acc;
+  };
+  const double want = dot(it);
+  const double got = dot(back);
+  EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0);
+  // A slice of the decoded view still addresses global indices.
+  const double wa = dot(it.slice(triolet::core::Seq{100, 200}));
+  const double wb = dot(back.slice(triolet::core::Seq{100, 200}));
+  EXPECT_EQ(std::memcmp(&wa, &wb, sizeof(double)), 0);
+}
+
+TEST(ViewDescriptors, SegmentedLeavesBorrowAndChecksumCoversThem) {
+  // A segmented source large enough that the values leaf crosses the borrow
+  // threshold: its bytes ride as borrowed segments, and the stream checksum
+  // must cover them (mutating the borrowed array must be detected).
+  std::vector<triolet::index_t> offsets{0};
+  std::vector<double> values;
+  for (int s = 0; s < 64; ++s) {
+    for (int k = 0; k < 8; ++k) values.push_back(double(s * 8 + k));
+    offsets.push_back(static_cast<triolet::index_t>(values.size()));
+  }
+  triolet::dist::SegmentedDistArray<double> a(offsets, values);
+  auto sg = to_segments(a.source());
+  EXPECT_GT(sg.bytes_borrowed(), 0u);
+  EXPECT_EQ(sg.stream_checksum(), checksum(sg.gather()));
+  a.mutate_values()[10] += 1.0;
+  EXPECT_NE(sg.stream_checksum(), checksum(sg.gather()));
+  a.mutate_values()[10] -= 1.0;
+  EXPECT_EQ(sg.stream_checksum(), checksum(sg.gather()));
 }
 
 // Property sweep: random vectors of random sizes round-trip exactly.

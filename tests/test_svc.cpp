@@ -15,7 +15,9 @@
 
 #include "core/triolet.hpp"
 #include "dist/dist_array.hpp"
+#include "dist/segmented.hpp"
 #include "dist/skeletons.hpp"
+#include "dist/views.hpp"
 #include "net/cluster.hpp"
 #include "net/mailbox.hpp"
 #include "net/tags.hpp"
@@ -586,6 +588,63 @@ TEST(JobManagerTest, ResidentSlicesSurviveAcrossJobs) {
             3 * (n / 4) * static_cast<index_t>(sizeof(double)));
   // The manager-level sinks saw the insertions.
   EXPECT_GT(mgr.stats().residency.bytes_inserted, 0);
+}
+
+TEST(JobManagerTest, SegmentedSlicesSurviveAcrossJobsWithViewCounters) {
+  ServiceOptions so;
+  so.nranks = 4;
+  so.max_concurrent = 1;
+  so.slice_cache_bytes = std::size_t{64} << 20;
+  JobManager mgr(so);
+
+  // Power-law CSR: a few jumbo segments, many tiny ones.
+  std::vector<index_t> offsets{0};
+  std::vector<double> values;
+  Xoshiro256 rng(52);
+  for (index_t s = 0; s < 512; ++s) {
+    const index_t len = (s % 32 == 0) ? 96 : 1 + s % 4;
+    for (index_t k = 0; k < len; ++k) values.push_back(rng.uniform(-1.0, 1.0));
+    offsets.push_back(static_cast<index_t>(values.size()));
+  }
+  dist::SegmentedDistArray<double> a(offsets, values);
+
+  auto job = [&a](JobContext& ctx) {
+    sched::SchedOptions opts;
+    opts.policy = sched::SchedulePolicy::kStatic;
+    opts.combine = sched::CombineMode::kOrdered;
+    (void)dist::sum(ctx.comm(),
+                    [&] {
+                      return dist::transform(
+                          dist::from_segmented(a),
+                          [](const dist::Segment<double>& s) {
+                            double acc = 0.0;
+                            for (core::index_t k = 0; k < s.size(); ++k) {
+                              acc += s[k];
+                            }
+                            return acc;
+                          });
+                    },
+                    opts);
+  };
+  JobResult r1 = mgr.submit({"warm-seg"}, job).wait();
+  ASSERT_TRUE(r1.ok) << r1.error;
+  JobResult r2 = mgr.submit({"hot-seg"}, job).wait();
+  ASSERT_TRUE(r2.ok) << r2.error;
+
+  // Job 1 inlined both leaves (offsets + values) of each worker's grant
+  // into the manager-owned caches; job 2 found all six resident. Because
+  // the source is a fused view (two resident leaves), the avoided bytes are
+  // also attributed to the per-job view counters.
+  EXPECT_EQ(r1.stats.residency.slices_inlined, 6);
+  EXPECT_EQ(r1.stats.residency.tokens_sent, 0);
+  EXPECT_EQ(r1.stats.views.view_tokens, 0);
+  EXPECT_EQ(r2.stats.residency.tokens_sent, 6);
+  EXPECT_EQ(r2.stats.residency.cache_hits, 6);
+  EXPECT_EQ(r2.stats.residency.fetches, 0);
+  EXPECT_EQ(r2.stats.views.view_tokens, 6);
+  EXPECT_GT(r2.stats.views.view_bytes_avoided, 0);
+  EXPECT_EQ(r2.stats.views.view_bytes_avoided,
+            r2.stats.residency.bytes_avoided);
 }
 
 // -- determinism under concurrency --------------------------------------------

@@ -177,6 +177,59 @@ TEST(AutoTunerPick, UniformWorkloadWithCostlyControlPicksStatic) {
   }
 }
 
+TEST(AutoTunerPick, PowerLawSkewRecordsCostCvAndPicksDemand) {
+  // The segmented-source shape: most units are tiny, the jumbo segment
+  // groups cluster at the front (sorted degree order). One measured round
+  // must (a) record the per-atom skew on the calibration, and (b) pick a
+  // demand policy — static blocks strand the jumbo cluster on one rank.
+  std::vector<double> jumbo(64);
+  for (std::size_t i = 0; i < jumbo.size(); ++i) {
+    jumbo[i] = (i < 4) ? 20e-3 : 0.5e-3;
+  }
+  std::array<double, 4> cvs{};
+  std::array<PickRecord, 4> picks{};
+  auto res = net::Cluster::run(4, [&](net::Comm& comm) {
+    AutoTuner t;
+    SchedOptions user;
+    user.policy = SchedulePolicy::kAuto;
+    (void)t.begin_round(user);
+    const auto extent = static_cast<index_t>(jumbo.size());
+    net::CommStats delta;
+    double wall = 0.0;
+    if (comm.rank() == 0) {
+      for (index_t i = 0; i < extent; ++i) {
+        t.record_run(i, 1, 1, jumbo[static_cast<std::size_t>(i)]);
+        delta.sched.busy_seconds += jumbo[static_cast<std::size_t>(i)];
+      }
+      delta.sched.items_executed = extent;
+      delta.sched.chunks_executed = extent;
+      delta.sched.steal_waits = extent;
+      delta.sched.idle_seconds = static_cast<double>(extent) * 1e-4;
+      delta.sched.grants_received = extent;
+      delta.sched.grant_payload_bytes = extent * 100;
+      delta.sched.granted_items = extent;
+      wall = delta.sched.busy_seconds + delta.sched.idle_seconds;
+    }
+    // The domain-side hint (core::outer_cost_cv of the SegSeq weights)
+    // rides the same allgather as the extent.
+    t.finish_round(comm, wall, delta, comm.rank() == 0 ? extent : index_t{-1},
+                   comm.rank() == 0 ? 1.3 : 0.0);
+    cvs[static_cast<std::size_t>(comm.rank())] = t.calibration().cost_cv;
+    picks[static_cast<std::size_t>(comm.rank())] = PickRecord::of(t);
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GT(cvs[0], 1.0);  // rank 0 measured the profile
+  for (const auto& p : picks) {
+    ASSERT_TRUE(p.have);
+    EXPECT_TRUE(p.policy == SchedulePolicy::kGuided ||
+                p.policy == SchedulePolicy::kDynamic)
+        << to_string(p.policy);
+  }
+  for (std::size_t r = 1; r < picks.size(); ++r) {
+    EXPECT_TRUE(picks[0].same_config(picks[r])) << "rank " << r;
+  }
+}
+
 TEST(AutoTunerPick, AllRanksPickTheIdenticalConfiguration) {
   // The pick is a pure function of allgathered data: every rank must land
   // on the same configuration without any broadcast.
