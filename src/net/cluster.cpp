@@ -16,7 +16,11 @@ ClusterResult Cluster::run(int nranks, const std::function<void(Comm&)>& body,
   // group relay, collectives) must be pairwise disjoint, or wildcard-free
   // matching could steal another subsystem's messages.
   assert_tag_bands_disjoint();
-  ClusterState state(nranks, options.max_message_bytes);
+  ClusterState state(nranks, TransportOptions{
+                                 .backend = options.transport,
+                                 .max_message_bytes = options.max_message_bytes,
+                                 .eager_bytes = options.eager_bytes,
+                             });
 
   std::mutex result_mu;
   ClusterResult result;

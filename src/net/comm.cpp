@@ -2,64 +2,55 @@
 
 namespace triolet::net {
 
-ClusterState::ClusterState(int nranks, std::size_t max_message_bytes) {
-  TRIOLET_CHECK(nranks >= 1, "cluster needs at least one rank");
-  inboxes.reserve(static_cast<std::size_t>(nranks));
-  for (int i = 0; i < nranks; ++i) {
-    inboxes.push_back(std::make_unique<Mailbox>(max_message_bytes));
-  }
-}
+ClusterState::ClusterState(int nranks_in, std::size_t max_message_bytes)
+    : ClusterState(nranks_in, TransportOptions{
+                                  .backend = {},
+                                  .max_message_bytes = max_message_bytes,
+                                  .eager_bytes = -1,
+                              }) {}
+
+ClusterState::ClusterState(int nranks_in, const TransportOptions& options)
+    : nranks(nranks_in), transport(make_transport(nranks_in, options)) {}
 
 void ClusterState::abort_all() {
   aborted.store(true, std::memory_order_release);
-  for (auto& m : inboxes) m->interrupt();
+  transport->interrupt_all();
 }
 
-void ClusterState::interrupt_all() {
-  for (auto& m : inboxes) m->interrupt();
-}
+void ClusterState::interrupt_all() { transport->interrupt_all(); }
 
 void Comm::deliver_segments(int dst, int tag, serial::SegmentedBytes sg,
-                            int collective) {
-  Message m;
-  m.src = rank_;
-  // The single send-side mapping point for all segment sends (blocking
-  // send/send_segments and every isend flavor routes through here, on the
-  // rank thread or the progress engine — the map is immutable state).
-  m.tag = tags_.map(tag);
+                            int collective, std::size_t shard) {
   const auto zero_copy = static_cast<std::int64_t>(sg.bytes_borrowed());
   const auto total = static_cast<std::int64_t>(sg.size());
-  // Assemble the payload: borrowed segments are copied exactly once, here,
-  // straight into the delivered message. A payload with no borrowed
-  // segments is the staging stream itself, moved rather than re-gathered.
-  // The stamp is the checksum accumulated at *write* time, not a hash of
-  // the gathered bytes: a borrowed span that was sliced wrong or mutated
-  // between serialization and this gather fails validation at the receiver
-  // instead of checksumming itself consistently.
-  m.checksum = sg.stream_checksum();
-  if (!sg.take_flat(m.payload)) {
-    m.payload.resize(sg.size());
-    sg.gather_into(m.payload.data());
+  // Send accounting goes to the caller's shard (rank thread or engine
+  // thread), so concurrent producers never contend on a lock. The stamp is
+  // the checksum accumulated at *write* time, not a hash of the gathered
+  // bytes: a borrowed span that was sliced wrong or mutated between
+  // serialization and the transport's gather fails validation at the
+  // receiver instead of checksumming itself consistently.
+  SendShard& s = send_shards_[shard];
+  s.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_sent.fetch_add(total, std::memory_order_relaxed);
+  s.bytes_zero_copy.fetch_add(zero_copy, std::memory_order_relaxed);
+  s.bytes_copied.fetch_add(total - zero_copy, std::memory_order_relaxed);
+  if (collective >= 0) {
+    // Collectives run on the rank thread only, so the per-collective
+    // counters stay plain fields in stats_.
+    auto& c = stats_.collectives[static_cast<std::size_t>(collective)];
+    c.messages_sent += 1;
+    c.bytes_sent += total;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.messages_sent += 1;
-    stats_.bytes_sent += total;
-    stats_.bytes_zero_copy += zero_copy;
-    stats_.bytes_copied += total - zero_copy;
-    if (collective >= 0) {
-      auto& c = stats_.collectives[static_cast<std::size_t>(collective)];
-      c.messages_sent += 1;
-      c.bytes_sent += total;
-    }
-  }
-  state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+  // The single send-side mapping point for all sends (blocking
+  // send/send_segments and every isend flavor routes through here — the
+  // tag map is immutable state, safe from both threads).
+  endpoint_->deliver(dst, tags_.map(tag), std::move(sg), s.msg);
 }
 
 void Comm::send_segments(int dst, int tag, serial::SegmentedBytes sg) {
   check_dst(dst);
   // Flush queued isends first so a blocking send can never overtake them
-  // (per-(src, tag) FIFO order is part of the mailbox contract).
+  // (per-(src, tag) FIFO order is part of the transport contract).
   flush_async();
   deliver_segments(dst, tag, std::move(sg), active_collective_);
 }
@@ -67,51 +58,28 @@ void Comm::send_segments(int dst, int tag, serial::SegmentedBytes sg) {
 void Comm::send_bytes(int dst, int tag, std::vector<std::byte> payload) {
   check_dst(dst);
   flush_async();
-  Message m;
-  m.src = rank_;
-  m.tag = tags_.map(tag);
-  m.checksum = serial::checksum(payload);
-  const auto total = static_cast<std::int64_t>(payload.size());
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.messages_sent += 1;
-    stats_.bytes_sent += total;
-    stats_.bytes_copied += total;
-    if (active_collective_ >= 0) {
-      auto& c =
-          stats_.collectives[static_cast<std::size_t>(active_collective_)];
-      c.messages_sent += 1;
-      c.bytes_sent += total;
-    }
-  }
-  m.payload = std::move(payload);
-  state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+  const std::uint64_t sum = serial::checksum(payload);
+  deliver_segments(dst, tag,
+                   serial::SegmentedBytes::from_flat(std::move(payload), sum),
+                   active_collective_);
 }
 
 PendingSend Comm::isend_bytes(int dst, int tag, std::vector<std::byte> payload) {
   check_dst(dst);
   auto buf = std::make_shared<std::vector<std::byte>>(std::move(payload));
   return PendingSend(engine().post([this, dst, tag, buf] {
-    Message m;
-    m.src = rank_;
-    m.tag = tags_.map(tag);
-    m.checksum = serial::checksum(*buf);
-    const auto total = static_cast<std::int64_t>(buf->size());
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.messages_sent += 1;
-      stats_.bytes_sent += total;
-      stats_.bytes_copied += total;
-    }
-    m.payload = std::move(*buf);
-    state_->inboxes[static_cast<std::size_t>(dst)]->push(std::move(m));
+    const std::uint64_t sum = serial::checksum(*buf);
+    deliver_segments(dst, tag,
+                     serial::SegmentedBytes::from_flat(std::move(*buf), sum),
+                     /*collective=*/-1, kEngineShard);
   }));
 }
 
 void Comm::finish_recv(const Message& m, bool attribute_collective) {
   TRIOLET_CHECK(serial::checksum(m.payload) == m.checksum,
                 "message payload failed checksum validation");
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  // Receive-side counters are rank-thread-only: every pop happens on the
+  // owning rank thread, so no synchronization is needed here.
   stats_.messages_received += 1;
   stats_.bytes_received += static_cast<std::int64_t>(m.payload.size());
   if (attribute_collective && active_collective_ >= 0) {
@@ -153,10 +121,10 @@ bool Comm::has_service(int tag) const {
 }
 
 void Comm::poll_services() {
-  auto* inbox = state_->inboxes[static_cast<std::size_t>(rank_)].get();
   for (std::size_t i = 0; i < services_.size(); ++i) {
     Message m;
-    while (inbox->try_pop_match(kAnySource, services_[i].first, m)) {
+    while (endpoint_->try_pop_match(kAnySource, services_[i].first, m,
+                                    tags_.any_lo(), tags_.any_hi())) {
       finish_recv(m, /*attribute_collective=*/false);
       dispatch_service(i, m);
     }
@@ -165,7 +133,6 @@ void Comm::poll_services() {
 
 Message Comm::pop_with_services(std::span<const std::pair<int, int>> user,
                                 std::size_t& which_user) {
-  auto* inbox = state_->inboxes[static_cast<std::size_t>(rank_)].get();
   // Service patterns come first: pop_match_any reports the first matching
   // pattern of the *earliest* matching message, so a queued service request
   // is dispatched even when a user pattern is a full wildcard. Service tags
@@ -178,9 +145,9 @@ Message Comm::pop_with_services(std::span<const std::pair<int, int>> user,
   }
   while (true) {
     std::size_t which = 0;
-    Message m =
-        inbox->pop_match_any(patterns, state_->aborted, which, tags_.any_lo(),
-                             tags_.any_hi(), job_aborted_);
+    Message m = endpoint_->pop_match_any(patterns, state_->aborted, which,
+                                         tags_.any_lo(), tags_.any_hi(),
+                                         job_aborted_);
     if (which < services_.size()) {
       finish_recv(m, /*attribute_collective=*/false);
       dispatch_service(which, m);
@@ -199,9 +166,9 @@ Message Comm::recv_message(int src, int tag) {
   // at the first blocking receive instead of at body end.
   flush_async();
   if (services_.empty()) {
-    Message m = state_->inboxes[static_cast<std::size_t>(rank_)]->pop_match(
-        src, tags_.map_pattern(tag), state_->aborted, tags_.any_lo(),
-        tags_.any_hi(), job_aborted_);
+    Message m = endpoint_->pop_match(src, tags_.map_pattern(tag),
+                                     state_->aborted, tags_.any_lo(),
+                                     tags_.any_hi(), job_aborted_);
     finish_recv(m);
     return m;
   }
@@ -212,8 +179,8 @@ Message Comm::recv_message(int src, int tag) {
 
 std::optional<Message> Comm::try_recv_message(int src, int tag) {
   Message m;
-  if (!state_->inboxes[static_cast<std::size_t>(rank_)]->try_pop_match(
-          src, tags_.map_pattern(tag), m, tags_.any_lo(), tags_.any_hi())) {
+  if (!endpoint_->try_pop_match(src, tags_.map_pattern(tag), m,
+                                tags_.any_lo(), tags_.any_hi())) {
     return std::nullopt;
   }
   finish_recv(m);
@@ -250,7 +217,8 @@ PendingSend Comm::isend_segments(int dst, int tag, serial::SegmentedBytes sg,
   auto holder = std::make_shared<serial::SegmentedBytes>(std::move(sg));
   return PendingSend(engine().post(
       [this, dst, tag, holder, keepalive = std::move(keepalive)] {
-        deliver_segments(dst, tag, std::move(*holder), /*collective=*/-1);
+        deliver_segments(dst, tag, std::move(*holder), /*collective=*/-1,
+                         kEngineShard);
       }));
 }
 
@@ -293,7 +261,7 @@ void Comm::bcast_bytes(std::vector<std::byte>& bytes, int root, int tag_base) {
       if (vrank & mask) {
         Message m = recv_message(world_of(vrank - mask, root),
                                  tag_base + round);
-        bytes = std::move(m.payload);
+        bytes = std::move(m.payload).take_vector();
         break;
       }
     }

@@ -34,8 +34,8 @@
 #include <utility>
 #include <vector>
 
-#include "net/mailbox.hpp"
 #include "net/progress.hpp"
+#include "net/transport.hpp"
 #include "net/slice_cache.hpp"
 #include "net/tags.hpp"
 #include "serial/checksum.hpp"
@@ -246,6 +246,41 @@ inline ViewStats operator-(ViewStats a, const ViewStats& b) {
   return a;
 }
 
+/// Messaging data-plane counters (the snapshot image of the transport's
+/// MsgCounters shards): protocol split and buffer-pool behavior. After
+/// warmup, pool_misses staying flat is the zero-steady-state-allocation
+/// property; ring_full_stalls counts sends that overflowed a full ring into
+/// the (ordered, unbounded) overflow lane.
+struct MsgStats {
+  std::int64_t eager_msgs = 0;        // payloads copied into pooled slabs
+  std::int64_t rendezvous_msgs = 0;   // payloads handed off whole
+  std::int64_t pool_hits = 0;         // slab allocations served by freelists
+  std::int64_t pool_misses = 0;       // slab allocations that hit the heap
+  std::int64_t ring_full_stalls = 0;  // sends diverted to the overflow lane
+
+  MsgStats& operator+=(const MsgStats& o) {
+    eager_msgs += o.eager_msgs;
+    rendezvous_msgs += o.rendezvous_msgs;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    ring_full_stalls += o.ring_full_stalls;
+    return *this;
+  }
+  MsgStats& operator-=(const MsgStats& o) {
+    eager_msgs -= o.eager_msgs;
+    rendezvous_msgs -= o.rendezvous_msgs;
+    pool_hits -= o.pool_hits;
+    pool_misses -= o.pool_misses;
+    ring_full_stalls -= o.ring_full_stalls;
+    return *this;
+  }
+};
+
+inline MsgStats operator-(MsgStats a, const MsgStats& b) {
+  a -= b;
+  return a;
+}
+
 struct CommStats {
   std::int64_t messages_sent = 0;
   std::int64_t bytes_sent = 0;
@@ -277,6 +312,9 @@ struct CommStats {
   /// Fused distributed views and halo-exchange attribution.
   ViewStats views{};
 
+  /// Messaging data-plane counters (eager/rendezvous split, pool behavior).
+  MsgStats msg{};
+
   const CollectiveStats& collective(Collective c) const {
     return collectives[static_cast<std::size_t>(c)];
   }
@@ -295,6 +333,7 @@ struct CommStats {
     pool += o.pool;
     residency += o.residency;
     views += o.views;
+    msg += o.msg;
     return *this;
   }
   /// Delta subtraction: `after - before` of two Comm::snapshot_stats()
@@ -315,6 +354,7 @@ struct CommStats {
     pool -= o.pool;
     residency -= o.residency;
     views -= o.views;
+    msg -= o.msg;
     return *this;
   }
 };
@@ -343,17 +383,23 @@ TRIOLET_SERIALIZE_FIELDS(ResidencyStats, tokens_sent, bytes_avoided,
 TRIOLET_SERIALIZE_FIELDS(ViewStats, view_tokens, view_bytes_avoided,
                          halo_exchanges, halo_messages, halo_bytes,
                          ghost_cells, halo_overlap_seconds)
+TRIOLET_SERIALIZE_FIELDS(MsgStats, eager_msgs, rendezvous_msgs, pool_hits,
+                         pool_misses, ring_full_stalls)
 TRIOLET_SERIALIZE_FIELDS(CommStats, messages_sent, bytes_sent,
                          messages_received, bytes_received, bytes_zero_copy,
                          bytes_copied, collectives, sched, pool, residency,
-                         views)
+                         views, msg)
 
 /// Shared state of one in-process cluster (owned by Cluster, referenced by
 /// every Comm).
 struct ClusterState {
+  /// Classic form: backend and eager threshold resolve from the
+  /// environment (TRIOLET_TRANSPORT / TRIOLET_EAGER_BYTES).
   explicit ClusterState(int nranks, std::size_t max_message_bytes);
+  ClusterState(int nranks, const TransportOptions& transport_options);
 
-  std::vector<std::unique_ptr<Mailbox>> inboxes;
+  int nranks = 0;
+  std::unique_ptr<Transport> transport;
   std::atomic<bool> aborted{false};
 
   void abort_all();
@@ -382,11 +428,14 @@ class Comm {
       : rank_(rank),
         state_(state),
         tags_(tags),
+        // Attached eagerly so the progress engine can use the cached
+        // endpoint without racing a lazy initialization.
+        endpoint_(&state->transport->attach(rank, tags.base)),
         shared_residency_(shared_residency),
         job_aborted_(job_aborted) {}
 
   int rank() const { return rank_; }
-  int size() const { return static_cast<int>(state_->inboxes.size()); }
+  int size() const { return state_->nranks; }
 
   /// This Comm's tag map (identity outside the service layer).
   const TagMap& tag_map() const { return tags_; }
@@ -436,7 +485,7 @@ class Comm {
     auto value = std::make_shared<T>(std::move(v));
     return PendingSend(engine().post([this, dst, tag, value] {
       deliver_segments(dst, tag, serial::to_segments(*value),
-                       /*collective=*/-1);
+                       /*collective=*/-1, kEngineShard);
     }));
   }
 
@@ -750,16 +799,33 @@ class Comm {
     return acc;
   }
 
-  const CommStats& stats() const { return stats_; }
+  /// This rank's counters (an aggregated snapshot; see snapshot_stats).
+  CommStats stats() const { return snapshot_stats(); }
 
-  /// Coherent copy of this rank's counters, taken under the stats lock (the
-  /// progress engine records send traffic concurrently with the rank
-  /// thread). Two snapshots subtract into the delta of everything between
-  /// them: `auto d = comm.snapshot_stats() - before;` — the per-round
-  /// attribution the autotuner and the benches are built on.
-  CommStats snapshot_stats() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    return stats_;
+  /// Coherent copy of this rank's counters. Send-side traffic is recorded
+  /// in per-producing-thread shards of relaxed atomics (rank thread and
+  /// progress engine each own one — no lock and no shared cache line on
+  /// the send path); the shards are summed into the plain
+  /// rank-thread-owned fields here. Two snapshots subtract into the delta
+  /// of everything between them: `auto d = comm.snapshot_stats() - before;`
+  /// — the per-round attribution the autotuner and the benches are built
+  /// on.
+  CommStats snapshot_stats() const {
+    CommStats out = stats_;
+    for (const SendShard& s : send_shards_) {
+      out.messages_sent += s.messages_sent.load(std::memory_order_relaxed);
+      out.bytes_sent += s.bytes_sent.load(std::memory_order_relaxed);
+      out.bytes_zero_copy += s.bytes_zero_copy.load(std::memory_order_relaxed);
+      out.bytes_copied += s.bytes_copied.load(std::memory_order_relaxed);
+      out.msg.eager_msgs += s.msg.eager_msgs.load(std::memory_order_relaxed);
+      out.msg.rendezvous_msgs +=
+          s.msg.rendezvous_msgs.load(std::memory_order_relaxed);
+      out.msg.pool_hits += s.msg.pool_hits.load(std::memory_order_relaxed);
+      out.msg.pool_misses += s.msg.pool_misses.load(std::memory_order_relaxed);
+      out.msg.ring_full_stalls +=
+          s.msg.ring_full_stalls.load(std::memory_order_relaxed);
+    }
+    return out;
   }
 
   /// Mutable scheduler counters: the sched/ layer records its protocol
@@ -864,7 +930,8 @@ class Comm {
         : comm_(&c), owner_(c.active_collective_ < 0) {
       if (owner_) {
         comm_->active_collective_ = static_cast<int>(k);
-        std::lock_guard<std::mutex> lock(comm_->stats_mu_);
+        // Rank-thread-only state: collectives run on the rank thread, and
+        // the per-collective counters are never touched by the engine.
         comm_->stats_.collectives[static_cast<std::size_t>(k)].calls += 1;
       }
     }
@@ -900,12 +967,12 @@ class Comm {
     return *engine_;
   }
 
-  /// Assembles a scatter-gather payload into a Message and pushes it to
-  /// `dst`'s mailbox: the single copy of borrowed bytes. Runs on the rank
-  /// thread (blocking sends) or the engine thread (isends), so all stats
-  /// it touches go through stats_mu_.
+  /// Hands a scatter-gather payload to the transport endpoint for `dst`.
+  /// Runs on the rank thread (blocking sends, shard = kRankShard) or the
+  /// engine thread (isends, shard = kEngineShard); each caller passes its
+  /// own shard so send accounting is plain relaxed atomics, never a lock.
   void deliver_segments(int dst, int tag, serial::SegmentedBytes sg,
-                        int collective);
+                        int collective, std::size_t shard = kRankShard);
 
   friend std::size_t wait_any(std::span<PendingRecv> recvs);
 
@@ -930,14 +997,31 @@ class Comm {
   /// Canonical-to-leased-band tag map; immutable after construction, so
   /// mapping is safe from both the rank thread and the progress engine.
   TagMap tags_;
+  /// The transport endpoint for this rank in its tag band, attached eagerly
+  /// in the constructor so the engine thread never races a lazy init.
+  Transport::Endpoint* endpoint_ = nullptr;
   /// Manager-owned per-rank residency (null outside the service layer).
   Residency* shared_residency_ = nullptr;
   /// Per-job-group abort flag (null outside the service layer).
   std::atomic<bool>* job_aborted_ = nullptr;
+  /// Rank-thread-only stats (receives, collectives, views, residency).
+  /// Send-side counters live in send_shards_ because the progress engine
+  /// records isend traffic concurrently with the rank thread's own sends.
   CommStats stats_;
-  /// Guards stats_: the progress engine records send traffic concurrently
-  /// with the rank thread's own sends/receives.
-  std::mutex stats_mu_;
+
+  static constexpr std::size_t kRankShard = 0;
+  static constexpr std::size_t kEngineShard = 1;
+  /// One shard per producing thread. Index with kRankShard / kEngineShard;
+  /// snapshot_stats() sums both into the plain CommStats mirror, so no
+  /// lock ever sits on the send path.
+  struct alignas(64) SendShard {
+    std::atomic<std::int64_t> messages_sent{0};
+    std::atomic<std::int64_t> bytes_sent{0};
+    std::atomic<std::int64_t> bytes_zero_copy{0};
+    std::atomic<std::int64_t> bytes_copied{0};
+    MsgCounters msg;
+  };
+  SendShard send_shards_[2];
   std::unique_ptr<ProgressEngine> engine_;
   std::unique_ptr<Residency> residency_;
   /// (tag, handler) pairs, rank-thread only.

@@ -86,7 +86,16 @@ Message Mailbox::pop_match_any(std::span<const std::pair<int, int>> patterns,
   return out;
 }
 
-void Mailbox::interrupt() { cv_.notify_all(); }
+void Mailbox::interrupt() {
+  // The lock is required for correctness, not just hygiene: a waiter that
+  // has checked its abort flag but not yet blocked in cv_.wait holds mu_,
+  // so notifying while the mutex is free can only happen before the check
+  // or after the wait is armed — never in the gap between them. An
+  // unlocked notify_all could fire exactly in that gap and leave an
+  // aborted job parked forever.
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
 
 std::size_t Mailbox::purge_tag_range(int lo, int hi) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -6,10 +6,25 @@
 // shared between ranks in skeleton code, so the substrate enforces the same
 // discipline a real MPI cluster would (paper §3.4). Payloads carry a
 // checksum so corrupted slicing/serialization is detected at receive time.
+//
+// A payload is either a pooled slab (eager messages: bytes copied inline
+// into a BufferPool slab by the sender) or a plain vector (rendezvous
+// messages: the sender's serialized buffer changes hands whole). `Payload`
+// abstracts over the two so receive-side consumers just see a span of
+// bytes; its destructor routes the storage back where it came from — slab
+// to the pool, vector to the serialization recycle cache — which is what
+// closes the zero-allocation loop.
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <exception>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "net/pool.hpp"
+#include "serial/bytes.hpp"
 
 namespace triolet::net {
 
@@ -18,10 +33,112 @@ inline constexpr int kAnySource = -1;
 /// Matches any tag in recv().
 inline constexpr int kAnyTag = -1;
 
+/// Owning byte buffer backing one message. Move-only; converts to
+/// std::span<const std::byte> so checksum/deserialize call sites treat it
+/// exactly like the vector it replaced.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Vector mode: takes ownership of a flat byte vector.
+  Payload(std::vector<std::byte> v)  // NOLINT(google-explicit-constructor)
+      : vec_(std::move(v)), data_(vec_.data()), size_(vec_.size()) {}
+
+  /// Slab mode: takes ownership of `size` bytes at `slab` (a BufferPool
+  /// allocation of class `cls`), released back to the pool on destruction.
+  static Payload from_slab(std::byte* slab, std::uint32_t cls,
+                           std::size_t size) {
+    Payload p;
+    p.data_ = slab;
+    p.size_ = size;
+    p.slab_cls_ = cls;
+    return p;
+  }
+
+  Payload(Payload&& other) noexcept { move_from(other); }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Payload& operator=(std::vector<std::byte> v) {
+    reset();
+    vec_ = std::move(v);
+    data_ = vec_.data();
+    size_ = vec_.size();
+    return *this;
+  }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  ~Payload() { reset(); }
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  operator std::span<const std::byte>() const {  // NOLINT
+    return {data_, size_};
+  }
+  std::span<const std::byte> span() const { return {data_, size_}; }
+
+  /// Extracts the bytes as a vector. Vector-mode payloads move; slab-mode
+  /// payloads copy into a recycled vector and release the slab.
+  std::vector<std::byte> take_vector() && {
+    if (is_slab()) {
+      std::vector<std::byte> out = serial::acquire_stream_buffer();
+      out.resize(size_);
+      if (size_ != 0) std::memcpy(out.data(), data_, size_);
+      reset();
+      return out;
+    }
+    std::vector<std::byte> out = std::move(vec_);
+    out.resize(size_);
+    data_ = nullptr;
+    size_ = 0;
+    return out;
+  }
+
+  bool is_slab() const { return slab_cls_ != kNoSlab; }
+
+ private:
+  static constexpr std::uint32_t kNoSlab = 0xFFFFFFFFu;
+
+  void move_from(Payload& other) noexcept {
+    vec_ = std::move(other.vec_);
+    data_ = other.data_;
+    size_ = other.size_;
+    slab_cls_ = other.slab_cls_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.slab_cls_ = kNoSlab;
+    other.vec_.clear();
+  }
+
+  void reset() noexcept {
+    if (is_slab()) {
+      BufferPool::instance().release(const_cast<std::byte*>(data_),
+                                     slab_cls_);
+    } else if (vec_.capacity() != 0) {
+      serial::recycle_stream_buffer(std::move(vec_));
+      vec_ = {};
+    }
+    data_ = nullptr;
+    size_ = 0;
+    slab_cls_ = kNoSlab;
+  }
+
+  std::vector<std::byte> vec_;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint32_t slab_cls_ = kNoSlab;
+};
+
 struct Message {
   int src = 0;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
   std::uint64_t checksum = 0;
 };
 

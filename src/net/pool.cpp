@@ -1,0 +1,119 @@
+#include "net/pool.hpp"
+
+#include <new>
+
+namespace triolet::net {
+
+namespace {
+
+/// How many slabs a thread cache holds per class before flushing half to
+/// the central depot, and how many it pulls per refill.
+constexpr std::size_t kCacheCap = 64;
+constexpr std::size_t kBatch = 16;
+
+}  // namespace
+
+/// Per-thread freelists. Defined at namespace scope (not function-local) so
+/// the destructor can flush into the leaky central depot on thread exit.
+struct PoolThreadCache {
+  BufferPool::FreeNode* head[kPoolNumClasses] = {};
+  std::size_t count[kPoolNumClasses] = {};
+
+  ~PoolThreadCache() {
+    BufferPool& pool = BufferPool::instance();
+    for (std::uint32_t c = 0; c < kPoolNumClasses; ++c) {
+      if (head[c] == nullptr) continue;
+      BufferPool::FreeNode* tail = head[c];
+      while (tail->next != nullptr) tail = tail->next;
+      std::lock_guard<std::mutex> lock(pool.central_[c].mu);
+      tail->next = pool.central_[c].head;
+      pool.central_[c].head = head[c];
+      pool.central_[c].count += count[c];
+      head[c] = nullptr;
+      count[c] = 0;
+    }
+  }
+};
+
+namespace {
+thread_local PoolThreadCache tl_cache;
+}  // namespace
+
+BufferPool& BufferPool::instance() {
+  static BufferPool* pool = new BufferPool();  // leaky: outlives all threads
+  return *pool;
+}
+
+BufferPool::Alloc BufferPool::allocate(std::size_t n) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint32_t cls = class_for(n);
+  if (cls == kHeapClass) {
+    return {static_cast<std::byte*>(::operator new(n)), kHeapClass, false};
+  }
+  PoolThreadCache& tc = tl_cache;
+  if (FreeNode* node = tc.head[cls]) {
+    tc.head[cls] = node->next;
+    tc.count[cls] -= 1;
+    return {reinterpret_cast<std::byte*>(node), cls, true};
+  }
+  // Refill from the central depot.
+  {
+    Central& central = central_[cls];
+    std::lock_guard<std::mutex> lock(central.mu);
+    if (central.head != nullptr) {
+      FreeNode* got = central.head;
+      // Keep one for the caller, move up to kBatch - 1 more into the cache.
+      FreeNode* cursor = got->next;
+      std::size_t moved = 0;
+      FreeNode* cache_head = nullptr;
+      while (cursor != nullptr && moved < kBatch - 1) {
+        FreeNode* next = cursor->next;
+        cursor->next = cache_head;
+        cache_head = cursor;
+        cursor = next;
+        moved += 1;
+      }
+      central.head = cursor;
+      central.count -= moved + 1;
+      tc.head[cls] = cache_head;
+      tc.count[cls] = moved;
+      return {reinterpret_cast<std::byte*>(got), cls, true};
+    }
+  }
+  return {static_cast<std::byte*>(::operator new(class_bytes(cls))), cls,
+          false};
+}
+
+void BufferPool::release(std::byte* p, std::uint32_t cls) noexcept {
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  if (cls == kHeapClass) {
+    ::operator delete(p);
+    return;
+  }
+  PoolThreadCache& tc = tl_cache;
+  auto* node = reinterpret_cast<FreeNode*>(p);
+  node->next = tc.head[cls];
+  tc.head[cls] = node;
+  tc.count[cls] += 1;
+  if (tc.count[cls] >= kCacheCap) {
+    // Flush half the cache to the central depot.
+    FreeNode* keep = tc.head[cls];
+    for (std::size_t i = 1; i < kCacheCap / 2; ++i) keep = keep->next;
+    FreeNode* flush = keep->next;
+    keep->next = nullptr;
+    tc.count[cls] = kCacheCap / 2;
+    FreeNode* tail = flush;
+    std::size_t flushed = 1;
+    while (tail->next != nullptr) {
+      tail = tail->next;
+      flushed += 1;
+    }
+    Central& central = central_[cls];
+    std::lock_guard<std::mutex> lock(central.mu);
+    tail->next = central.head;
+    central.head = flush;
+    central.count += flushed;
+  }
+}
+
+}  // namespace triolet::net

@@ -29,6 +29,16 @@
 
 namespace triolet::serial {
 
+/// Recycled staging-buffer cache. Serialization staging vectors and eager
+/// message payload vectors churn at message rate; routing them through a
+/// small thread-local stack (capacity is retained across uses) makes the
+/// serialize -> send -> receive -> deserialize loop allocation-free once
+/// warm. acquire returns an empty vector (possibly with capacity);
+/// recycle clears and caches `v`, silently dropping it when the stack is
+/// full. Both are safe from any thread (each thread has its own stack).
+std::vector<std::byte> acquire_stream_buffer();
+void recycle_stream_buffer(std::vector<std::byte> v);
+
 /// Spans at least this large take the borrowed (zero-copy) path when the
 /// writer is in segment mode; smaller spans are cheaper to memcpy into the
 /// staging stream than to track as separate iovec entries.
@@ -54,7 +64,22 @@ class SegmentedBytes {
       : owned_(std::move(owned)), segments_(std::move(segments)),
         total_(total), stream_checksum_(stream_checksum) {}
 
+  /// Wraps an already-flat payload as a single owned segment — the shape
+  /// send_bytes produces when the caller hands over a finished vector.
+  static SegmentedBytes from_flat(std::vector<std::byte> flat,
+                                  std::uint64_t stream_checksum) {
+    const std::size_t n = flat.size();
+    std::vector<Segment> segs;
+    if (n != 0) segs.push_back({false, 0, nullptr, n});
+    return SegmentedBytes(std::move(flat), std::move(segs), n,
+                          stream_checksum);
+  }
+
   std::size_t size() const { return total_; }
+
+  /// True when every byte lives in the owned staging stream (no borrowed
+  /// spans with external lifetimes).
+  bool all_owned() const { return bytes_borrowed() == 0; }
 
   /// Bytes that took the borrowed (zero-copy) path.
   std::size_t bytes_borrowed() const {
@@ -95,6 +120,14 @@ class SegmentedBytes {
     return true;
   }
 
+  /// Steals the owned staging vector for recycling after the payload has
+  /// been gathered elsewhere; leaves the object empty.
+  std::vector<std::byte> take_owned_storage() {
+    segments_.clear();
+    total_ = 0;
+    return std::move(owned_);
+  }
+
   std::span<const Segment> segments() const { return segments_; }
 
   /// Checksum of the logical byte stream, accumulated at *write* time (see
@@ -113,7 +146,14 @@ class SegmentedBytes {
 
 class ByteWriter {
  public:
-  ByteWriter() = default;
+  /// The staging buffer comes from the recycle cache, so a warm thread's
+  /// writers reuse capacity instead of growing a fresh vector per message.
+  ByteWriter() : buf_(acquire_stream_buffer()) {}
+  ~ByteWriter() {
+    if (buf_.capacity() != 0) recycle_stream_buffer(std::move(buf_));
+  }
+  ByteWriter(ByteWriter&&) = default;
+  ByteWriter& operator=(ByteWriter&&) = default;
 
   /// A writer in segment mode records large spans passed to
   /// write_borrowable() as borrowed segments; harvest with take_segments().

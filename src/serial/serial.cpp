@@ -1,6 +1,41 @@
 #include "serial/checksum.hpp"
 
+#include <vector>
+
+#include "serial/bytes.hpp"
+
 namespace triolet::serial {
+
+namespace {
+
+/// Per-thread LIFO of retired staging vectors. LIFO keeps the hottest
+/// (largest-capacity, cache-warm) buffer on top; the small cap bounds idle
+/// memory per thread.
+constexpr std::size_t kStreamCacheCap = 8;
+
+struct StreamBufferCache {
+  std::vector<std::vector<std::byte>> stack;
+};
+
+thread_local StreamBufferCache tl_stream_cache;
+
+}  // namespace
+
+std::vector<std::byte> acquire_stream_buffer() {
+  auto& stack = tl_stream_cache.stack;
+  if (stack.empty()) return {};
+  std::vector<std::byte> v = std::move(stack.back());
+  stack.pop_back();
+  return v;
+}
+
+void recycle_stream_buffer(std::vector<std::byte> v) {
+  if (v.capacity() == 0) return;
+  auto& stack = tl_stream_cache.stack;
+  if (stack.size() >= kStreamCacheCap) return;
+  v.clear();
+  stack.push_back(std::move(v));
+}
 
 std::uint64_t checksum_accumulate(std::uint64_t state,
                                   std::span<const std::byte> bytes) {

@@ -37,13 +37,32 @@ struct NetworkModel {
   // messages above this size. 0 = apply to all messages.
   std::int64_t alloc_threshold_bytes = 0;
 
+  // Eager/rendezvous protocol split, mirroring the in-process transport
+  // (net/transport.hpp) and every MPI implementation: messages at or below
+  // the threshold are copied into a preallocated bounce buffer and sent
+  // immediately (one extra copy, no handshake); larger messages first
+  // exchange a ready-to-send/clear-to-send handshake — one extra round-trip
+  // latency on the wire — and then move without the bounce-buffer copy.
+  std::int64_t eager_threshold_bytes = 4096;
+  // Extra in-flight seconds a rendezvous handshake costs (RTS/CTS round
+  // trip before payload transfer starts).
+  double rendezvous_handshake = 4e-6;
+
   double multiplier_for(std::int64_t bytes) const {
     return bytes >= alloc_threshold_bytes ? alloc_multiplier : 1.0;
   }
 
+  bool is_eager(std::int64_t bytes) const {
+    return bytes <= eager_threshold_bytes;
+  }
+
   double send_busy(std::int64_t bytes) const {
+    // Eager sends pay the bounce-buffer copy; rendezvous sends transfer
+    // straight out of the (already allocated) source buffer, so only the
+    // allocator model applies there.
+    const double copy_passes = is_eager(bytes) ? 2.0 : 1.0;
     return fixed_overhead + static_cast<double>(bytes) * copy_cost_per_byte *
-                                multiplier_for(bytes);
+                                copy_passes * multiplier_for(bytes);
   }
   double recv_busy(std::int64_t bytes) const {
     // Deserialization allocates the received object, so the same allocator
@@ -52,7 +71,8 @@ struct NetworkModel {
                                 multiplier_for(bytes);
   }
   double flight(std::int64_t bytes) const {
-    return latency + static_cast<double>(bytes) / bandwidth;
+    const double handshake = is_eager(bytes) ? 0.0 : rendezvous_handshake;
+    return latency + handshake + static_cast<double>(bytes) / bandwidth;
   }
 };
 

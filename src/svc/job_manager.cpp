@@ -246,10 +246,10 @@ void JobManager::run_group(net::TagMap band,
   for (auto& t : ranks) t.join();
 
   // The band is quiet now (every rank joined): purge stranded messages — an
-  // aborted job's unconsumed traffic — so the next lessee starts clean.
-  for (auto& inbox : state_.inboxes) {
-    inbox->purge_tag_range(band.any_lo(), band.any_hi());
-  }
+  // aborted job's unconsumed traffic, including descriptors still parked in
+  // ring slots — so the next lessee starts clean and pooled buffers flow
+  // back to the allocator.
+  state_.transport->purge_tag_range(band.any_lo(), band.any_hi());
   bands_.reclaim(band);
 
   std::int64_t completed = 0, failed = 0;

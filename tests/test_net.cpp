@@ -8,8 +8,11 @@
 #include <atomic>
 #include <map>
 #include <numeric>
+#include <thread>
+#include <utility>
 
 #include "net/cluster.hpp"
+#include "net/mailbox.hpp"
 
 namespace triolet::net {
 namespace {
@@ -203,10 +206,45 @@ TEST(Mailbox, TryPopMatchesWithoutBlocking) {
   Message m;
   m.src = 2;
   m.tag = 4;
-  mb.push(m);
+  mb.push(std::move(m));
   EXPECT_FALSE(mb.try_pop_match(1, kAnyTag, out));
   EXPECT_TRUE(mb.try_pop_match(2, 4, out));
   EXPECT_EQ(mb.size(), 0u);
+}
+
+TEST(Mailbox, InterruptNeverLosesAWakeupRace) {
+  // Regression for a lost-wakeup race: interrupt() used to notify without
+  // holding the mailbox mutex, so the notification could fire in the gap
+  // between a waiter's abort-flag check and its cv wait — the waiter then
+  // blocked forever on a flag that was already raised. Iterating the
+  // handshake makes a regression hang here (and the CI TSan job flags the
+  // unsynchronized notify directly).
+  for (int iter = 0; iter < 200; ++iter) {
+    Mailbox mb;
+    std::atomic<bool> aborted{false};
+    std::thread waiter([&] {
+      EXPECT_THROW((void)mb.pop_match(kAnySource, kAnyTag, aborted),
+                   ClusterAborted);
+    });
+    aborted.store(true);
+    mb.interrupt();
+    waiter.join();
+  }
+}
+
+TEST(Transport, InterruptAllWakesABlockedRingReceiver) {
+  // Same race at the transport level: a ring endpoint parked in pop_match
+  // must observe abort_all() promptly no matter where it is in its
+  // spin/park sequence.
+  for (int iter = 0; iter < 50; ++iter) {
+    ClusterState state(1, 0);
+    std::thread waiter([&] {
+      Comm comm(0, &state);
+      EXPECT_THROW((void)comm.recv<int>(kAnySource, 1), ClusterAborted);
+    });
+    state.abort_all();
+    waiter.join();
+  }
 }
 
 // -- wildcard interleavings under concurrent senders --------------------------

@@ -72,6 +72,10 @@ TEST(Simulate, SendBusyCostsChargeTheSender) {
   n.fixed_overhead = 0.5;
   n.copy_cost_per_byte = 0.01;
   n.alloc_multiplier = 2.0;
+  // Neutralize the protocol split so this test isolates the endpoint-cost
+  // accounting (rendezvous: single copy pass, and no handshake charge).
+  n.eager_threshold_bytes = 0;
+  n.rendezvous_handshake = 0.0;
   SimTrace t(2);
   t.send(0, 1, 100);  // sender busy: 0.5 + 100*0.01*2 = 2.5
   t.recv(1, 0);
@@ -230,9 +234,40 @@ TEST(NetworkModel, AllocThresholdGatesMultiplier) {
   n.copy_cost_per_byte = 1.0;
   n.alloc_multiplier = 3.0;
   n.alloc_threshold_bytes = 100;
+  n.eager_threshold_bytes = 0;  // isolate the allocator gate from the
+                                // eager bounce-buffer copy
   EXPECT_DOUBLE_EQ(n.send_busy(10), 10.0);    // small message: no GC cost
   EXPECT_DOUBLE_EQ(n.send_busy(100), 300.0);  // at threshold: multiplied
   EXPECT_DOUBLE_EQ(n.recv_busy(200), 600.0);
+}
+
+TEST(NetworkModel, EagerRendezvousSplit) {
+  NetworkModel n;
+  n.latency = 1.0;
+  n.bandwidth = 1.0;  // 1 byte/s so flight is latency + bytes
+  n.fixed_overhead = 0.0;
+  n.copy_cost_per_byte = 1.0;
+  n.eager_threshold_bytes = 100;
+  n.rendezvous_handshake = 7.0;
+  // Eager: double copy (staging into the bounce buffer), no handshake.
+  EXPECT_TRUE(n.is_eager(100));
+  EXPECT_DOUBLE_EQ(n.send_busy(100), 200.0);
+  EXPECT_DOUBLE_EQ(n.flight(100), 101.0);
+  // Rendezvous: single copy out of the source buffer, but the RTS/CTS
+  // round trip is charged before bytes move.
+  EXPECT_FALSE(n.is_eager(101));
+  EXPECT_DOUBLE_EQ(n.send_busy(101), 101.0);
+  EXPECT_DOUBLE_EQ(n.flight(101), 1.0 + 7.0 + 101.0);
+  // With the *default* (realistic) constants the protocol switch must not
+  // make a message cheaper end-to-end right at the boundary: the RTS/CTS
+  // handshake costs more than the bounce-buffer copy it saves, so total
+  // cost stays monotone in message size.
+  NetworkModel d;
+  const std::int64_t at = d.eager_threshold_bytes;
+  const double eager_total = d.send_busy(at) + d.flight(at) + d.recv_busy(at);
+  const double rz_total =
+      d.send_busy(at + 1) + d.flight(at + 1) + d.recv_busy(at + 1);
+  EXPECT_GT(rz_total, eager_total);
 }
 
 TEST(MachineConfig, TotalCores) {

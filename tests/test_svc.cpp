@@ -20,6 +20,7 @@
 #include "dist/views.hpp"
 #include "net/cluster.hpp"
 #include "net/mailbox.hpp"
+#include "net/pool.hpp"
 #include "net/tags.hpp"
 #include "support/rng.hpp"
 #include "svc/band_allocator.hpp"
@@ -477,45 +478,54 @@ TEST(JobManagerTest, PerJobStatsIsolateConcurrentWorkloads) {
 // -- JobManager: failure isolation --------------------------------------------
 
 TEST(JobManagerTest, AFailingJobDoesNotPoisonItsNeighbors) {
-  ServiceOptions so;
-  so.nranks = 2;
-  so.max_concurrent = 2;
-  JobManager mgr(so);
+  // Pool-leak check: a failing job strands traffic — queued eager slabs and
+  // rendezvous nodes, possibly still sitting in ring slots — and the band
+  // purge must sweep every one of them back to the buffer pool. Snapshot
+  // the pool before the service exists and compare after it is torn down.
+  const std::int64_t pool_before = net::BufferPool::instance().outstanding();
+  {
+    ServiceOptions so;
+    so.nranks = 2;
+    so.max_concurrent = 2;
+    JobManager mgr(so);
 
-  auto xs = random_array(8192, 41);
-  JobHandle bad = mgr.submit({"bad"}, [](JobContext& ctx) {
-    ctx.comm().barrier();
-    if (ctx.rank() == 1) throw std::runtime_error("synthetic job failure");
-    // Rank 0 blocks on a message that never comes; the group abort must
-    // wake it (ClusterAborted), not hang it.
-    (void)ctx.comm().recv<int>(1, 17);
-  });
-  JobHandle good = mgr.submit({"good"}, [&xs](JobContext& ctx) {
-    sched::SchedOptions opts;
-    opts.grain = 512;
-    (void)dist::sum(ctx.comm(), [&] { return from_array(xs); },
-                    ctx.sched_options(opts));
-  });
+    auto xs = random_array(8192, 41);
+    JobHandle bad = mgr.submit({"bad"}, [](JobContext& ctx) {
+      ctx.comm().barrier();
+      if (ctx.rank() == 1) throw std::runtime_error("synthetic job failure");
+      // Rank 0 blocks on a message that never comes; the group abort must
+      // wake it (ClusterAborted), not hang it.
+      (void)ctx.comm().recv<int>(1, 17);
+    });
+    JobHandle good = mgr.submit({"good"}, [&xs](JobContext& ctx) {
+      sched::SchedOptions opts;
+      opts.grain = 512;
+      (void)dist::sum(ctx.comm(), [&] { return from_array(xs); },
+                      ctx.sched_options(opts));
+    });
 
-  JobResult rb = bad.wait();
-  EXPECT_FALSE(rb.ok);
-  EXPECT_NE(rb.error.find("synthetic job failure"), std::string::npos)
-      << rb.error;
-  JobResult rg = good.wait();
-  EXPECT_TRUE(rg.ok) << rg.error;
+    JobResult rb = bad.wait();
+    EXPECT_FALSE(rb.ok);
+    EXPECT_NE(rb.error.find("synthetic job failure"), std::string::npos)
+        << rb.error;
+    JobResult rg = good.wait();
+    EXPECT_TRUE(rg.ok) << rg.error;
 
-  // The failed group's band was purged and reclaimed; the service keeps
-  // serving.
-  mgr.drain();
-  EXPECT_EQ(mgr.bands_in_use(), 0);
-  JobHandle after = mgr.submit({"after"}, [](JobContext& ctx) {
-    ctx.comm().barrier();
-  });
-  EXPECT_TRUE(after.wait().ok);
-  mgr.drain();  // handle fulfillment precedes the aggregate-stats update
-  ServiceStats s = mgr.stats();
-  EXPECT_EQ(s.failed, 1);
-  EXPECT_EQ(s.completed, 2);
+    // The failed group's band was purged and reclaimed; the service keeps
+    // serving.
+    mgr.drain();
+    EXPECT_EQ(mgr.bands_in_use(), 0);
+    JobHandle after = mgr.submit({"after"}, [](JobContext& ctx) {
+      ctx.comm().barrier();
+    });
+    EXPECT_TRUE(after.wait().ok);
+    mgr.drain();  // handle fulfillment precedes the aggregate-stats update
+    ServiceStats s = mgr.stats();
+    EXPECT_EQ(s.failed, 1);
+    EXPECT_EQ(s.completed, 2);
+  }
+  EXPECT_EQ(net::BufferPool::instance().outstanding(), pool_before)
+      << "band purge / transport teardown leaked pooled buffers";
 }
 
 TEST(JobManagerTest, BatchNeighborsOfAFailedJobReportTheRootCause) {
